@@ -1,0 +1,11 @@
+"""A1 — ablation: per-level bin count (the paper's ``l^0.1`` knob)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_a1_bin_count
+
+
+def test_a1_bin_count(benchmark, experiment_scale):
+    result = run_once(benchmark, run_a1_bin_count, experiment_scale)
+    assert result.headline["max_depth"] <= 9

@@ -1,0 +1,11 @@
+"""A2 — ablation: hash-pair selection strategies (Section 2.4 machinery)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_a2_selection_strategy
+
+
+def test_a2_selection_strategy(benchmark, experiment_scale):
+    result = run_once(benchmark, run_a2_selection_strategy, experiment_scale)
+    assert result.headline["guaranteed_strategies_ok"] == 1.0

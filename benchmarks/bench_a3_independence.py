@@ -1,0 +1,12 @@
+"""A3 — ablation: the c-wise independence parameter."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_a3_independence
+
+
+def test_a3_independence(benchmark, experiment_scale):
+    result = run_once(benchmark, run_a3_independence, experiment_scale)
+    # Bad-node counts stay tiny for every tested c.
+    assert result.headline["max_bad_nodes"] <= 16

@@ -1,0 +1,11 @@
+"""A4 — ablation: the local-collection threshold (base-case constant)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_a4_collect_threshold
+
+
+def test_a4_collect_threshold(benchmark, experiment_scale):
+    result = run_once(benchmark, run_a4_collect_threshold, experiment_scale)
+    assert result.headline["max_depth"] <= 9

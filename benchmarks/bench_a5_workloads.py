@@ -1,0 +1,11 @@
+"""A5 — named workload sweep across both algorithms."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_a5_workload_sweep
+
+
+def test_a5_workloads(benchmark, experiment_scale):
+    result = run_once(benchmark, run_a5_workload_sweep, experiment_scale)
+    assert result.headline["workloads"] >= 5

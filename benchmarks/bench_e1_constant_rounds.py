@@ -1,0 +1,20 @@
+"""E1 — Theorems 1.1/1.2: constant-round (Δ+1)-list coloring.
+
+Regenerates the rounds-vs-n table: at a fixed degree the round count of the
+deterministic algorithm must not grow with ``n``, and the recursion depth
+must stay within the paper's bound of 9.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_e1_constant_rounds
+
+
+def test_e1_constant_rounds(benchmark, experiment_scale):
+    result = run_once(benchmark, run_e1_constant_rounds, experiment_scale)
+    assert result.headline["max_depth"] <= 9
+    # Constant-round claim: the spread between the largest and smallest round
+    # count across the n-sweep is bounded by the per-level constant times the
+    # 2^9 envelope, not by anything growing with n.
+    assert result.headline["max_rounds"] <= 2**9 * 8

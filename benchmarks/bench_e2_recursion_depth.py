@@ -1,0 +1,15 @@
+"""E2 — Lemmas 3.11-3.14: recursion depth and instance-size shrinkage."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.recursion import depth_nine_size_ratio
+from repro.experiments import run_e2_recursion_depth
+
+
+def test_e2_recursion_depth(benchmark, experiment_scale):
+    result = run_once(benchmark, run_e2_recursion_depth, experiment_scale)
+    # Lemma 3.14: measured depth never exceeds 9.
+    assert result.headline["max_depth"] <= 9
+    # Closed form: the depth-9 bin-size bound is O(n) with the proof's constant.
+    assert depth_nine_size_ratio(1e6, 1e5) <= 2 * 6**9

@@ -1,0 +1,14 @@
+"""E3 — Lemma 3.9 / Corollary 3.10: bad bins, bad nodes and the size of G0."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_e3_bad_nodes
+
+
+def test_e3_bad_nodes(benchmark, experiment_scale):
+    result = run_once(benchmark, run_e3_bad_nodes, experiment_scale)
+    # Lemma 3.9: the derandomized selection never produces a bad bin.
+    assert result.headline["max_deterministic_bad_bins"] == 0
+    # Corollary 3.10: the bad graph G0 has size O(n) (constant factor 4 here).
+    assert result.headline["max_g0_over_n"] <= 4.0

@@ -1,0 +1,14 @@
+"""E4 — Section 1.3: constant rounds vs the logarithmic-round prior art."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_e4_baseline_rounds
+
+
+def test_e4_baseline_rounds(benchmark, experiment_scale):
+    result = run_once(benchmark, run_e4_baseline_rounds, experiment_scale)
+    # Our recursion depth stays within the constant bound while the baselines
+    # need at least a handful of logarithmic phases.
+    assert result.headline["max_depth"] <= 9
+    assert result.headline["max_trial_rounds"] >= 3

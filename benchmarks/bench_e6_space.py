@@ -1,0 +1,12 @@
+"""E6 — Theorems 1.2/1.3: local and total space accounting."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_e6_space_accounting
+
+
+def test_e6_space(benchmark, experiment_scale):
+    result = run_once(benchmark, run_e6_space_accounting, experiment_scale)
+    # Peak local usage never exceeds the O(n) budget (utilisation <= 1).
+    assert result.headline["worst_local_utilisation"] <= 1.0

@@ -1,0 +1,12 @@
+"""E8 — Lemma 3.2 / Corollary 3.3: the palette/degree invariant."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_e8_invariants
+
+
+def test_e8_invariants(benchmark, experiment_scale):
+    result = run_once(benchmark, run_e8_invariants, experiment_scale)
+    # The correctness condition d'(v) < p'(v) is never violated at any level.
+    assert result.headline["total_violations"] == 0

@@ -1,0 +1,12 @@
+"""E9 — Lemmas 2.2/2.4: the bounded-independence hashing substrate."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_e9_hash_family
+
+
+def test_e9_hash_family(benchmark, experiment_scale):
+    result = run_once(benchmark, run_e9_hash_family, experiment_scale)
+    # Empirical tail frequencies never exceed the Bellare-Rompel bound.
+    assert result.headline["bound_violations"] == 0

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""(deg+1)-list coloring of a power-law graph in low-space MPC (Theorem 1.4).
+
+Scenario: a social-network-like graph with a heavy-tailed degree
+distribution must be colored on a cluster whose machines each hold far less
+than the whole graph (the low-space MPC regime, s = O(n^ε)).  Plain
+(Δ+1)-coloring would waste colors on the long tail of low-degree nodes, so
+we solve the stronger (deg+1)-list coloring problem, exactly the setting of
+Theorem 1.4.
+
+The example prints the measured rounds against the paper's
+O(log Δ + log log n) envelope and the simulator's space report.
+
+Run with:  python examples/low_space_social_network.py
+"""
+
+from __future__ import annotations
+
+from repro import LowSpaceColorReduce, LowSpaceParameters, generators
+from repro.analysis.reporting import Table
+from repro.analysis.theory import evaluate_round_bound
+from repro.graph import PaletteAssignment
+from repro.graph.validation import assert_valid_list_coloring, count_colors_used
+from repro.mpc import MPCSimulator, low_space_regime
+
+
+def main() -> None:
+    table = Table(
+        title="low-space MPC (deg+1)-list coloring on power-law graphs",
+        columns=(
+            "n",
+            "Delta",
+            "rounds",
+            "MIS phases",
+            "log Delta + log log n",
+            "peak local words",
+            "local budget",
+            "colors used",
+        ),
+    )
+    epsilon = 0.5
+    for n, attachment in ((300, 4), (600, 8), (900, 16)):
+        graph = generators.power_law(n, attachment=attachment, seed=11)
+        palettes = PaletteAssignment.degree_plus_one(graph)
+        simulator = MPCSimulator(low_space_regime(n, graph.num_edges, epsilon=epsilon))
+        algorithm = LowSpaceColorReduce(
+            params=LowSpaceParameters(epsilon=epsilon), simulator=simulator
+        )
+        result = algorithm.run(graph, palettes)
+        assert_valid_list_coloring(graph, palettes, result.coloring)
+        report = simulator.space_report()
+        table.add_row(
+            n,
+            graph.max_degree(),
+            result.rounds,
+            result.total_mis_phases,
+            round(evaluate_round_bound("O(log Δ + log log n)", graph.max_degree(), n), 1),
+            report["peak_local_words"],
+            report["local_budget_words"],
+            count_colors_used(result.coloring),
+        )
+    print(table.render())
+    print()
+    print(
+        "Note: every node uses a color from its own (deg+1)-list, so low-degree "
+        "nodes in the tail receive small color indices even though Delta is large."
+    )
+
+
+if __name__ == "__main__":
+    main()

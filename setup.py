@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can also be installed in fully offline environments where the
+PEP 660 editable-install path is unavailable (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

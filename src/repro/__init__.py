@@ -1,0 +1,58 @@
+"""Reproduction of *Simple, Deterministic, Constant-Round Coloring in the
+Congested Clique* (Czumaj, Davies, Parter — PODC 2020).
+
+The package implements the paper's algorithms and every substrate they rely
+on:
+
+* :mod:`repro.graph` — graphs, palettes, synthetic workloads, validation,
+* :mod:`repro.hashing` — exactly ``k``-wise independent hash families,
+* :mod:`repro.congested_clique` — CONGESTED CLIQUE round/bandwidth simulator,
+* :mod:`repro.mpc` — MPC round/space simulator (linear- and low-space),
+* :mod:`repro.derand` — the method-of-conditional-expectations machinery,
+* :mod:`repro.core` — ``ColorReduce`` / ``Partition`` (Theorems 1.1–1.3) and
+  the low-space algorithm (Theorem 1.4),
+* :mod:`repro.mis` — maximal-independent-set algorithms,
+* :mod:`repro.baselines` — prior-art stand-ins for comparison,
+* :mod:`repro.analysis` / :mod:`repro.experiments` — metrics, closed-form
+  bounds and the experiment harness regenerating every quantitative claim.
+
+Quickstart::
+
+    from repro import ColorReduce, generators
+
+    graph = generators.erdos_renyi(500, 0.2, seed=1)
+    result = ColorReduce().run(graph)
+    print(result.rounds, max(result.coloring.values()))
+"""
+
+from repro.core.color_reduce import ColorReduce, ColorReduceResult
+from repro.core.low_space import LowSpaceColorReduce, LowSpaceParameters, LowSpaceResult
+from repro.core.params import ColorReduceParameters
+from repro.graph import (
+    Graph,
+    PaletteAssignment,
+    assert_proper_coloring,
+    assert_valid_list_coloring,
+    is_proper_coloring,
+    is_valid_list_coloring,
+)
+from repro.graph import generators
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ColorReduce",
+    "ColorReduceResult",
+    "ColorReduceParameters",
+    "LowSpaceColorReduce",
+    "LowSpaceParameters",
+    "LowSpaceResult",
+    "Graph",
+    "PaletteAssignment",
+    "generators",
+    "assert_proper_coloring",
+    "assert_valid_list_coloring",
+    "is_proper_coloring",
+    "is_valid_list_coloring",
+    "__version__",
+]

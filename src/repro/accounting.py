@@ -1,0 +1,75 @@
+"""Cost accounting shared by the CONGESTED CLIQUE and MPC simulators.
+
+All of the paper's claims are stated in terms of *rounds*, *messages* and
+*space*; the simulators charge every model-level operation to a
+:class:`CostLedger`, and the experiments read their results from these
+ledgers.  Labels let an experiment break the total down by phase (hash
+selection, partitioning, local coloring, palette updates, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+
+@dataclass
+class PhaseCost:
+    """Rounds and message-words charged to one labelled phase."""
+
+    rounds: int = 0
+    message_words: int = 0
+
+    def add(self, rounds: int, message_words: int) -> None:
+        self.rounds += rounds
+        self.message_words += message_words
+
+
+@dataclass
+class CostLedger:
+    """Accumulates rounds and communication volume across a protocol run."""
+
+    rounds: int = 0
+    message_words: int = 0
+    _phases: Dict[str, PhaseCost] = field(default_factory=dict)
+
+    def charge(self, label: str, rounds: int, message_words: int = 0) -> None:
+        """Charge ``rounds`` rounds and ``message_words`` words to ``label``."""
+        if rounds < 0 or message_words < 0:
+            raise ValueError("cannot charge negative cost")
+        self.rounds += rounds
+        self.message_words += message_words
+        self._phases.setdefault(label, PhaseCost()).add(rounds, message_words)
+
+    def phase(self, label: str) -> PhaseCost:
+        """The accumulated cost of one phase (zero if never charged)."""
+        return self._phases.get(label, PhaseCost())
+
+    def phases(self) -> Iterator[Tuple[str, PhaseCost]]:
+        """Iterate over ``(label, cost)`` pairs in insertion order."""
+        return iter(self._phases.items())
+
+    def merge_parallel(self, other: "CostLedger") -> None:
+        """Merge a ledger of work done *in parallel* with this one.
+
+        Parallel composition takes the maximum of the round counts (the
+        paper's recursive calls at the same level run simultaneously) and the
+        sum of the communication volumes.
+        """
+        self.rounds = max(self.rounds, other.rounds)
+        self.message_words += other.message_words
+        for label, cost in other._phases.items():
+            mine = self._phases.setdefault(label, PhaseCost())
+            mine.rounds = max(mine.rounds, cost.rounds)
+            mine.message_words += cost.message_words
+
+    def merge_sequential(self, other: "CostLedger") -> None:
+        """Merge a ledger of work done *after* this one (costs add up)."""
+        self.rounds += other.rounds
+        self.message_words += other.message_words
+        for label, cost in other._phases.items():
+            self._phases.setdefault(label, PhaseCost()).add(cost.rounds, cost.message_words)
+
+    def snapshot(self) -> Dict[str, Tuple[int, int]]:
+        """A plain-dict snapshot ``label -> (rounds, message_words)``."""
+        return {label: (cost.rounds, cost.message_words) for label, cost in self._phases.items()}

@@ -1,0 +1,13 @@
+"""Analysis utilities: run metrics, closed-form bounds and report formatting."""
+
+from repro.analysis.metrics import ColoringRunMetrics, collect_metrics
+from repro.analysis.reporting import Table, format_table
+from repro.analysis.theory import prior_work_round_bounds
+
+__all__ = [
+    "ColoringRunMetrics",
+    "collect_metrics",
+    "Table",
+    "format_table",
+    "prior_work_round_bounds",
+]

@@ -1,0 +1,64 @@
+"""Uniform metrics extracted from algorithm runs (used by experiments)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.color_reduce import ColorReduceResult
+from repro.core.recursion import summarize_recursion
+from repro.graph.graph import Graph
+from repro.graph.validation import count_colors_used
+
+
+@dataclass
+class ColoringRunMetrics:
+    """The quantities every coloring experiment reports for one run."""
+
+    algorithm: str
+    num_nodes: int
+    num_edges: int
+    max_degree: int
+    rounds: int
+    colors_used: int
+    recursion_depth: Optional[int] = None
+    num_partitions: Optional[int] = None
+    num_local_colorings: Optional[int] = None
+    total_bad_nodes: Optional[int] = None
+    invariant_violations: Optional[int] = None
+    message_words: Optional[int] = None
+
+    def as_row(self) -> Dict[str, object]:
+        """A flat dict suitable for table formatting."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.num_nodes,
+            "m": self.num_edges,
+            "Delta": self.max_degree,
+            "rounds": self.rounds,
+            "colors": self.colors_used,
+            "depth": self.recursion_depth if self.recursion_depth is not None else "-",
+            "partitions": self.num_partitions if self.num_partitions is not None else "-",
+            "bad_nodes": self.total_bad_nodes if self.total_bad_nodes is not None else "-",
+        }
+
+
+def collect_metrics(
+    graph: Graph, result: ColorReduceResult, algorithm: str = "ColorReduce"
+) -> ColoringRunMetrics:
+    """Extract the standard metrics from a ``ColorReduce`` result."""
+    summary = summarize_recursion(result.recursion_root)
+    return ColoringRunMetrics(
+        algorithm=algorithm,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree(),
+        rounds=result.rounds,
+        colors_used=count_colors_used(result.coloring),
+        recursion_depth=summary.max_depth,
+        num_partitions=summary.partitions,
+        num_local_colorings=summary.base_cases,
+        total_bad_nodes=summary.total_bad_nodes,
+        invariant_violations=result.total_invariant_violations,
+        message_words=result.ledger.message_words,
+    )

@@ -1,0 +1,67 @@
+"""Plain-text table formatting shared by benchmarks and EXPERIMENTS.md.
+
+The experiments print their results as fixed-width text tables so the
+benchmark output (``bench_output.txt``) is directly readable and can be
+pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table with named columns and homogeneous rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but the table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def add_dict_row(self, row: Dict[str, object]) -> None:
+        self.add_row(*(row.get(column, "-") for column in self.columns))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        return format_table(self)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Render a :class:`Table` as fixed-width text."""
+    header = [str(column) for column in table.columns]
+    body = [[_cell(value) for value in row] for row in table.rows]
+    widths = [len(column) for column in header]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Iterable[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [table.title, "=" * len(table.title), render_row(header)]
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in body)
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Analytic complexity facts quoted by the paper (Section 1.3 comparison).
+
+The paper's "evaluation" is a comparison of round complexities against prior
+work; this module encodes that comparison so the E4 experiment can print it
+next to the measured round counts of the implementable baselines.  The
+closed-form recursion bounds (Lemmas 3.11-3.14) live in
+:mod:`repro.core.recursion`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.recursion import (  # re-exported for convenience
+    bin_size_upper_bound,
+    closed_form_table,
+    degree_upper_bound,
+    depth_nine_size_ratio,
+    ell_bounds,
+    nodes_upper_bound,
+)
+
+__all__ = [
+    "PriorWorkBound",
+    "prior_work_round_bounds",
+    "evaluate_round_bound",
+    "bin_size_upper_bound",
+    "closed_form_table",
+    "degree_upper_bound",
+    "depth_nine_size_ratio",
+    "ell_bounds",
+    "nodes_upper_bound",
+]
+
+
+@dataclass(frozen=True)
+class PriorWorkBound:
+    """One row of the Section 1.3 comparison."""
+
+    reference: str
+    model: str
+    deterministic: bool
+    problem: str
+    round_bound: str
+
+
+def prior_work_round_bounds() -> List[PriorWorkBound]:
+    """The prior-work comparison the paper's introduction lays out."""
+    return [
+        PriorWorkBound(
+            reference="Parter (ICALP'18)",
+            model="CONGESTED CLIQUE",
+            deterministic=False,
+            problem="(Δ+1)-coloring",
+            round_bound="O(log log Δ · log* Δ)",
+        ),
+        PriorWorkBound(
+            reference="Parter, Su (DISC'18)",
+            model="CONGESTED CLIQUE",
+            deterministic=False,
+            problem="(Δ+1)-coloring",
+            round_bound="O(log* Δ)",
+        ),
+        PriorWorkBound(
+            reference="Chang et al. (PODC'19)",
+            model="CONGESTED CLIQUE",
+            deterministic=False,
+            problem="(Δ+1)-list coloring",
+            round_bound="O(1)",
+        ),
+        PriorWorkBound(
+            reference="Censor-Hillel et al. (DISC'17)",
+            model="CONGESTED CLIQUE (Δ = O(n^{1/3}))",
+            deterministic=True,
+            problem="(Δ+1)-coloring",
+            round_bound="O(log Δ)",
+        ),
+        PriorWorkBound(
+            reference="Parter (ICALP'18)",
+            model="CONGESTED CLIQUE",
+            deterministic=True,
+            problem="(Δ+1)-coloring",
+            round_bound="O(log Δ)",
+        ),
+        PriorWorkBound(
+            reference="Bamberger et al. (PODC'20)",
+            model="CONGESTED CLIQUE",
+            deterministic=True,
+            problem="(deg+1)-list coloring",
+            round_bound="O(log Δ · log log Δ)",
+        ),
+        PriorWorkBound(
+            reference="This paper (Theorem 1.1)",
+            model="CONGESTED CLIQUE",
+            deterministic=True,
+            problem="(Δ+1)-list coloring",
+            round_bound="O(1)",
+        ),
+        PriorWorkBound(
+            reference="This paper (Theorem 1.4)",
+            model="low-space MPC",
+            deterministic=True,
+            problem="(deg+1)-list coloring",
+            round_bound="O(log Δ + log log n)",
+        ),
+    ]
+
+
+def evaluate_round_bound(expression: str, delta: float, n: float) -> float:
+    """Numeric value of a round-bound expression for plotting reference curves.
+
+    Supports the handful of expressions in :func:`prior_work_round_bounds`;
+    unknown expressions evaluate to ``nan`` (they are still printed as text).
+    """
+    log2 = lambda x: math.log2(max(x, 2.0))  # noqa: E731
+    log_star = lambda x: _log_star(max(x, 2.0))  # noqa: E731
+    table = {
+        "O(1)": 1.0,
+        "O(log Δ)": log2(delta),
+        "O(log* Δ)": log_star(delta),
+        "O(log log Δ · log* Δ)": log2(log2(delta)) * log_star(delta),
+        "O(log Δ · log log Δ)": log2(delta) * log2(log2(delta)),
+        "O(log Δ + log log n)": log2(delta) + log2(log2(n)),
+    }
+    return table.get(expression, float("nan"))
+
+
+def _log_star(value: float) -> float:
+    count = 0
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return float(count)

@@ -1,0 +1,35 @@
+"""Centralized greedy list coloring (the correctness baseline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.local_coloring import greedy_list_coloring
+from repro.graph.graph import Graph
+from repro.graph.palettes import PaletteAssignment
+from repro.graph.validation import count_colors_used
+from repro.types import Color, NodeId
+
+
+@dataclass
+class GreedyBaselineResult:
+    """Output of the centralized greedy baseline."""
+
+    coloring: Dict[NodeId, Color]
+    colors_used: int
+
+
+def greedy_baseline(
+    graph: Graph, palettes: Optional[PaletteAssignment] = None
+) -> GreedyBaselineResult:
+    """Color the whole graph greedily on a single machine.
+
+    This is not a distributed algorithm — it is the reference every
+    distributed result is validated against (same proper-coloring check,
+    comparable number of colors used).
+    """
+    if palettes is None:
+        palettes = PaletteAssignment.delta_plus_one(graph)
+    coloring = greedy_list_coloring(graph, palettes)
+    return GreedyBaselineResult(coloring=coloring, colors_used=count_colors_used(coloring))

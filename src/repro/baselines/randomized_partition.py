@@ -1,0 +1,46 @@
+"""The randomized variant of ``ColorReduce`` (random seeds, no derandomization).
+
+The paper derandomizes a randomized recursive partitioning procedure; this
+baseline is exactly that procedure *before* derandomization: the hash pair of
+every ``Partition`` call is a uniformly random member of the same
+``c``-wise independent families.  Comparing it with the deterministic
+algorithm isolates what derandomization costs (in rounds: nothing beyond the
+seed-selection steps; in quality: nothing, by Lemma 3.9) — this is the E7
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.color_reduce import ColorReduce, ColorReduceResult
+from repro.core.context import ExecutionContext
+from repro.core.params import ColorReduceParameters
+from repro.derand.conditional_expectation import SelectionStrategy
+from repro.graph.graph import Graph
+from repro.graph.palettes import PaletteAssignment
+
+
+def randomized_color_reduce(
+    graph: Graph,
+    palettes: Optional[PaletteAssignment] = None,
+    params: Optional[ColorReduceParameters] = None,
+    context: Optional[ExecutionContext] = None,
+    seed: int = 0,
+) -> ColorReduceResult:
+    """Run ``ColorReduce`` with random (seeded) hash choices.
+
+    The random choice can produce bad bins or many bad nodes on unlucky
+    seeds; the algorithm still colors correctly (bad nodes are deferred to
+    ``G_0``), which is exactly the behaviour the derandomization removes the
+    luck from.
+    """
+    base = params if params is not None else ColorReduceParameters()
+    randomized = replace(
+        base,
+        selection_strategy=SelectionStrategy.RANDOM,
+        selection_rng_seed=seed,
+    )
+    algorithm = ColorReduce(params=randomized, context=context)
+    return algorithm.run(graph, palettes)

@@ -1,0 +1,121 @@
+"""Command-line interface: run the algorithms and experiments from a shell.
+
+Usage examples::
+
+    python -m repro color --workload dense-random-lists --nodes 500
+    python -m repro color --workload social-power-law --nodes 800 --algorithm low-space
+    python -m repro experiment E3 --scale smoke
+    python -m repro list-experiments
+    python -m repro list-workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import ColorReduce, LowSpaceColorReduce
+from repro.analysis.metrics import collect_metrics
+from repro.analysis.reporting import Table
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.workloads import build_workload, list_workloads
+from repro.graph.validation import assert_valid_list_coloring, count_colors_used
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Simple, Deterministic, Constant-Round Coloring in the "
+            "Congested Clique' (Czumaj, Davies, Parter, PODC 2020)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    color = subparsers.add_parser("color", help="color a named workload and print metrics")
+    color.add_argument("--workload", default="dense-random-lists")
+    color.add_argument("--nodes", type=int, default=400)
+    color.add_argument("--seed", type=int, default=1)
+    color.add_argument(
+        "--algorithm",
+        choices=("congested-clique", "low-space"),
+        default="congested-clique",
+        help="ColorReduce (Theorem 1.1) or LowSpaceColorReduce (Theorem 1.4)",
+    )
+
+    experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E9)")
+    experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
+    experiment.add_argument("--scale", choices=("smoke", "default", "full"), default="smoke")
+
+    subparsers.add_parser("list-experiments", help="list the registered experiments")
+    subparsers.add_parser("list-workloads", help="list the named workloads")
+    return parser
+
+
+def _run_color(args: argparse.Namespace) -> int:
+    graph, palettes, spec = build_workload(args.workload, args.nodes, seed=args.seed)
+    print(
+        f"workload {spec.name!r} ({spec.problem}): n={graph.num_nodes}, "
+        f"m={graph.num_edges}, Delta={graph.max_degree()}"
+    )
+    if args.algorithm == "low-space":
+        result = LowSpaceColorReduce().run(graph, palettes)
+        assert_valid_list_coloring(graph, palettes, result.coloring)
+        print(
+            f"LowSpaceColorReduce: rounds={result.rounds}, "
+            f"depth={result.max_recursion_depth}, MIS phases={result.total_mis_phases}, "
+            f"colors used={count_colors_used(result.coloring)}"
+        )
+    else:
+        result = ColorReduce().run(graph, palettes)
+        assert_valid_list_coloring(graph, palettes, result.coloring)
+        metrics = collect_metrics(graph, result)
+        print(
+            f"ColorReduce: rounds={metrics.rounds}, depth={metrics.recursion_depth}, "
+            f"bad nodes={metrics.total_bad_nodes}, colors used={metrics.colors_used}"
+        )
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment_id)
+    print(f"{spec.experiment_id}: {spec.claim}  [{spec.paper_reference}]")
+    result = spec.runner(args.scale)
+    print()
+    print(result.render())
+    return 0
+
+
+def _list_experiments() -> int:
+    table = Table(title="registered experiments", columns=("id", "paper reference", "claim"))
+    for spec in list_experiments():
+        table.add_row(spec.experiment_id, spec.paper_reference, spec.claim)
+    print(table.render())
+    return 0
+
+
+def _list_workloads() -> int:
+    table = Table(title="named workloads", columns=("name", "problem", "description"))
+    for spec in list_workloads():
+        table.add_row(spec.name, spec.problem, spec.description)
+    print(table.render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "color":
+        return _run_color(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "list-experiments":
+        return _list_experiments()
+    if args.command == "list-workloads":
+        return _list_workloads()
+    return 1  # pragma: no cover - argparse enforces the choices above
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""CONGESTED CLIQUE model substrate.
+
+The CONGESTED CLIQUE model (Section 1.1 of the paper): ``n`` nodes, one per
+input-graph node, proceed in synchronous rounds; in each round every node may
+send an ``O(log n)``-bit message to every other node.  Communication is not
+restricted to input-graph edges.
+
+The simulator in this subpackage does not ship bytes between processes — the
+algorithms run in a single Python process — but it *meters and enforces* the
+model's budgets: every model-level operation (all-to-all rounds, broadcasts,
+Lenzen routing, collecting a subgraph onto one node) is charged to a
+:class:`repro.accounting.CostLedger`, and operations that would exceed a
+node's per-round bandwidth raise
+:class:`repro.errors.BandwidthExceededError`.  The experiments read round
+counts and message volumes from these ledgers; this is exactly the quantity
+the paper's theorems are about.
+"""
+
+from repro.congested_clique.model import CongestedCliqueSimulator
+from repro.congested_clique.router import LenzenRouter, RoutingRequest
+
+__all__ = ["CongestedCliqueSimulator", "LenzenRouter", "RoutingRequest"]

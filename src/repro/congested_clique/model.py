@@ -1,0 +1,188 @@
+"""The CONGESTED CLIQUE round/bandwidth simulator.
+
+:class:`CongestedCliqueSimulator` exposes the model-level operations the
+paper's algorithms use, each of which charges rounds and message-words to a
+:class:`repro.accounting.CostLedger` and enforces the model's bandwidth
+constraints:
+
+* :meth:`all_to_all_round` — one synchronous round in which every ordered
+  pair of nodes exchanges at most one ``O(log n)``-bit word,
+* :meth:`broadcast` — every node learns a value held by one node,
+* :meth:`aggregate` — a global sum/min/max of one value per node,
+* :meth:`lenzen_route` — arbitrary routing under per-node ``O(n)`` loads
+  (Lenzen PODC'13, cf. paper Section 2.1),
+* :meth:`collect_onto_node` — gather a subgraph of total size ``O(n)`` onto
+  one node (the base case and the bad-graph step of ``ColorReduce``).
+
+The simulator does not move real payloads; algorithms perform their logic in
+ordinary Python and *declare* the communication they would perform, which the
+simulator validates and meters.  This is the substitution documented in
+DESIGN.md: the paper's claims are about rounds/messages/space, and those are
+exactly the quantities enforced here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from repro.accounting import CostLedger
+from repro.congested_clique.router import (
+    LENZEN_ROUTING_ROUNDS,
+    LenzenRouter,
+    RoutingRequest,
+)
+from repro.errors import BandwidthExceededError, ConfigurationError
+from repro.types import NodeId
+
+
+class CongestedCliqueSimulator:
+    """Round and bandwidth accounting for a clique of ``num_nodes`` nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        The number of nodes ``n`` (one per input-graph node).
+    word_bits:
+        The message size in bits; defaults to ``ceil(log2 n) + 1``, i.e. the
+        model's ``O(log n)``-bit messages.  Only used for reporting.
+    capacity_factor:
+        Constant for the ``O(n)`` per-node load bound of Lenzen routing.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        word_bits: Optional[int] = None,
+        capacity_factor: float = 16.0,
+    ) -> None:
+        if num_nodes < 1:
+            raise ConfigurationError("num_nodes must be positive")
+        self.num_nodes = num_nodes
+        self.word_bits = (
+            word_bits if word_bits is not None else max(1, math.ceil(math.log2(max(num_nodes, 2)))) + 1
+        )
+        self.ledger = CostLedger()
+        self._router = LenzenRouter(num_nodes, capacity_factor=capacity_factor)
+
+    # ------------------------------------------------------------------
+    # basic rounds
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Total rounds charged so far."""
+        return self.ledger.rounds
+
+    @property
+    def message_words(self) -> int:
+        """Total message-words charged so far."""
+        return self.ledger.message_words
+
+    def all_to_all_round(
+        self, words_per_pair: Dict[tuple, int], label: str = "all-to-all"
+    ) -> int:
+        """Perform point-to-point communication.
+
+        ``words_per_pair`` maps ordered pairs ``(src, dst)`` to the number of
+        words ``src`` needs to deliver to ``dst``.  Since the model allows one
+        word per ordered pair per round, the operation takes
+        ``max(words_per_pair.values())`` rounds with all pairs progressing in
+        parallel.  Returns the number of rounds charged.
+        """
+        if not words_per_pair:
+            return 0
+        for (src, dst), words in words_per_pair.items():
+            self._check_node(src)
+            self._check_node(dst)
+            if words < 0:
+                raise ConfigurationError("message word counts must be non-negative")
+        rounds = max(words_per_pair.values())
+        total_words = sum(words_per_pair.values())
+        self.ledger.charge(label, rounds, total_words)
+        return rounds
+
+    def broadcast(self, source: NodeId, words: int = 1, label: str = "broadcast") -> int:
+        """Node ``source`` delivers ``words`` words to every other node.
+
+        A single word reaches everyone in one round (the node sends the same
+        word to all); ``words`` words take ``words`` rounds.
+        """
+        self._check_node(source)
+        if words < 0:
+            raise ConfigurationError("words must be non-negative")
+        rounds = words
+        self.ledger.charge(label, rounds, words * (self.num_nodes - 1))
+        return rounds
+
+    def aggregate(self, words_per_node: int = 1, label: str = "aggregate") -> int:
+        """Compute a global associative aggregate (sum/min/max) of one value
+        per node, and deliver the result to every node.
+
+        With all-to-all communication this takes a constant number of rounds:
+        every node sends its value to a designated aggregator (1 round of at
+        most ``n`` incoming words — within the Lenzen bound), which then
+        broadcasts the result (1 round).
+        """
+        if words_per_node < 0:
+            raise ConfigurationError("words_per_node must be non-negative")
+        rounds = 2 * max(1, words_per_node)
+        self.ledger.charge(label, rounds, 2 * words_per_node * self.num_nodes)
+        return rounds
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def lenzen_route(
+        self, requests: Iterable[RoutingRequest], label: str = "lenzen-routing"
+    ) -> Dict[str, int]:
+        """Route messages under the per-node ``O(n)`` load bound.
+
+        Charges a constant number of rounds.  Raises
+        :class:`repro.errors.BandwidthExceededError` if a node's send or
+        receive load exceeds the bound.
+        """
+        stats = self._router.check(requests)
+        self.ledger.charge(label, LENZEN_ROUTING_ROUNDS, stats["total_words"])
+        return stats
+
+    def collect_onto_node(
+        self, target: NodeId, total_words: int, label: str = "collect"
+    ) -> int:
+        """Gather ``total_words`` words of data onto ``target``.
+
+        This models collecting an instance of size ``O(n)`` onto a single
+        node for local coloring (the base case of ``ColorReduce`` and the
+        ``G_0`` step).  The words must fit inside the target's ``O(n)``
+        receive budget; exceeding it is a model violation.
+        """
+        self._check_node(target)
+        if total_words < 0:
+            raise ConfigurationError("total_words must be non-negative")
+        capacity = self._router.per_node_capacity
+        if total_words > capacity:
+            raise BandwidthExceededError(
+                f"collecting {total_words} words onto node {target} exceeds the "
+                f"O(n) receive bound of {capacity}"
+            )
+        self.ledger.charge(label, LENZEN_ROUTING_ROUNDS, total_words)
+        return LENZEN_ROUTING_ROUNDS
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @property
+    def per_node_capacity_words(self) -> int:
+        """The ``O(n)`` per-node routing capacity in words."""
+        return self._router.per_node_capacity
+
+    def _check_node(self, node: NodeId) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(
+                f"node {node} outside the clique [0, {self.num_nodes})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CongestedCliqueSimulator(n={self.num_nodes}, rounds={self.rounds}, "
+            f"message_words={self.message_words})"
+        )

@@ -1,0 +1,223 @@
+"""Good/bad nodes and bins (Definition 3.1) and the selection cost function.
+
+``Partition`` hashes nodes into ``B`` bins with ``h1`` and colors into bins
+``1..B-1`` with ``h2``.  Definition 3.1 then calls a node *good* when its
+in-bin degree and in-bin palette size are close to their expectations, and a
+bin *good* when it is not overfull.  The derandomized hash selection
+minimises the cost function of Equation (1),
+
+    q(h1, h2) = |bad nodes| + n * |bad bins|,
+
+which Lemma 3.8 bounds in expectation by ``n / l^2``.
+
+This module computes the classification for a concrete ``(h1, h2)`` pair and
+exposes the cost function used by :class:`repro.derand.HashPairSelector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.params import ColorReduceParameters
+from repro.derand.cost import PairCost
+from repro.graph.graph import Graph
+from repro.graph.palettes import PaletteAssignment
+from repro.hashing.family import HashFunction
+from repro.types import BinIndex, Color, NodeId
+
+
+@dataclass
+class NodeClassification:
+    """Per-node view of one partition attempt."""
+
+    node: NodeId
+    bin_index: BinIndex
+    degree: int
+    in_bin_degree: int
+    palette_size: int
+    in_bin_palette_size: Optional[int]
+    is_good: bool
+    reason: str = ""
+
+
+@dataclass
+class PartitionClassification:
+    """The full outcome of classifying a ``(h1, h2)`` pair on an instance.
+
+    ``bin_of_node`` uses bins ``0..B-1``; bin ``B-1`` is the paper's last bin
+    (the one that receives no colors), and bins ``0..B-2`` are the color
+    bins.  Bad nodes are listed separately and belong to no bin's recursive
+    instance (they form the graph ``G_0``).
+    """
+
+    num_bins: int
+    bin_of_node: Dict[NodeId, BinIndex]
+    nodes: Dict[NodeId, NodeClassification]
+    bad_nodes: Set[NodeId] = field(default_factory=set)
+    bad_bins: Set[BinIndex] = field(default_factory=set)
+    bin_sizes: Dict[BinIndex, int] = field(default_factory=dict)
+
+    @property
+    def num_bad_nodes(self) -> int:
+        return len(self.bad_nodes)
+
+    @property
+    def num_bad_bins(self) -> int:
+        return len(self.bad_bins)
+
+    def good_nodes_in_bin(self, bin_index: BinIndex) -> List[NodeId]:
+        """Good nodes assigned to ``bin_index`` (the recursive instance)."""
+        return [
+            node
+            for node, assigned in self.bin_of_node.items()
+            if assigned == bin_index and node not in self.bad_nodes
+        ]
+
+    def cost(self, global_nodes: int) -> float:
+        """Equation (1): ``|bad nodes| + n * |bad bins|``."""
+        return float(self.num_bad_nodes + global_nodes * self.num_bad_bins)
+
+
+def color_bin_map(
+    palettes: PaletteAssignment, h2: HashFunction, num_color_bins: int
+) -> Dict[Color, BinIndex]:
+    """Hash every color of the palette universe to a color bin.
+
+    Computing this map once per candidate ``h2`` (rather than hashing each
+    palette entry separately) keeps the cost-function evaluation linear in
+    the universe size plus the number of palette entries.
+    """
+    universe = palettes.color_universe()
+    return {color: h2(color % h2.domain_size) % num_color_bins for color in universe}
+
+
+def classify_partition(
+    graph: Graph,
+    palettes: PaletteAssignment,
+    h1: HashFunction,
+    h2: HashFunction,
+    params: ColorReduceParameters,
+    ell: float,
+    global_nodes: int,
+) -> PartitionClassification:
+    """Classify every node and bin for a candidate hash pair.
+
+    Implements Definition 3.1 with the parameterized slacks of
+    :class:`ColorReduceParameters`:
+
+    * a node ``v`` in a color bin is good iff
+      ``|d'(v) - d(v)/B| <= degree_slack`` and
+      ``p'(v) >= p(v)/B + palette_slack``;
+    * a node in the last bin is good iff the degree condition holds
+      (its palette is only updated later, cf. the paper's definition of
+      ``p'`` for bin ``l^0.1``);
+    * a bin is good iff it has fewer than ``2 n_G / B + n^0.6`` nodes.
+
+    When ``params.enforce_palette_surplus`` is set, a color-bin node whose
+    restricted palette is not strictly larger than its in-bin degree is also
+    marked bad (guaranteeing the recursive instance stays colorable even in
+    scaled mode).
+    """
+    num_bins = params.num_bins(ell)
+    num_color_bins = max(1, num_bins - 1)
+    degree_slack = params.degree_slack(ell)
+    palette_slack = params.palette_slack(ell)
+    instance_nodes = graph.num_nodes
+    # The quantitative palette-surplus condition of Definition 3.1 relies on
+    # the margin p/B(B-1) between the expected in-bin palette share and the
+    # p/B reference, which dominates the slack only in the paper's parameter
+    # regime (B = l^0.1, so p > l >= B^10).  In scaled mode, or once the bin
+    # count has been clamped at laptop-scale degrees, that margin is not
+    # guaranteed, so the classification keeps only the conditions that drive
+    # correctness (palette strictly exceeds in-bin degree, enforced below)
+    # and degree reduction.
+    literal_palette_condition = not params.is_scaled and not params.bins_are_clamped(ell)
+
+    bin_of_node: Dict[NodeId, BinIndex] = {
+        node: h1(node % h1.domain_size) % num_bins for node in graph.nodes()
+    }
+    color_bins = color_bin_map(palettes, h2, num_color_bins)
+
+    bin_sizes: Dict[BinIndex, int] = {index: 0 for index in range(num_bins)}
+    for node_bin in bin_of_node.values():
+        bin_sizes[node_bin] += 1
+
+    bin_cap = params.bin_cap(ell, instance_nodes, global_nodes)
+    bad_bins = {index for index, size in bin_sizes.items() if size >= bin_cap}
+
+    classification = PartitionClassification(
+        num_bins=num_bins,
+        bin_of_node=bin_of_node,
+        nodes={},
+        bad_bins=bad_bins,
+        bin_sizes=bin_sizes,
+    )
+
+    last_bin = num_bins - 1
+    for node in graph.nodes():
+        node_bin = bin_of_node[node]
+        degree = graph.degree(node)
+        in_bin_degree = sum(
+            1 for neighbor in graph.neighbors(node) if bin_of_node[neighbor] == node_bin
+        )
+        palette_size = palettes.palette_size(node)
+        expected_in_bin_degree = degree / num_bins
+
+        reason = ""
+        good = True
+        in_bin_palette: Optional[int] = None
+        if abs(in_bin_degree - expected_in_bin_degree) > degree_slack:
+            good = False
+            reason = "degree deviation"
+        if node_bin != last_bin:
+            in_bin_palette = sum(
+                1 for color in palettes.palette(node) if color_bins[color] == node_bin
+            )
+            if (
+                good
+                and literal_palette_condition
+                and in_bin_palette < palette_size / num_bins + palette_slack
+            ):
+                good = False
+                reason = "palette shortfall"
+            if (
+                good
+                and params.enforce_palette_surplus
+                and in_bin_palette <= in_bin_degree
+            ):
+                good = False
+                reason = "palette does not exceed in-bin degree"
+
+        classification.nodes[node] = NodeClassification(
+            node=node,
+            bin_index=node_bin,
+            degree=degree,
+            in_bin_degree=in_bin_degree,
+            palette_size=palette_size,
+            in_bin_palette_size=in_bin_palette,
+            is_good=good,
+            reason=reason,
+        )
+        if not good:
+            classification.bad_nodes.add(node)
+
+    return classification
+
+
+def partition_cost_function(
+    graph: Graph,
+    palettes: PaletteAssignment,
+    params: ColorReduceParameters,
+    ell: float,
+    global_nodes: int,
+) -> PairCost:
+    """The Equation (1) cost ``q(h1, h2)`` as a plain callable for selection."""
+
+    def cost(h1: HashFunction, h2: HashFunction) -> float:
+        classification = classify_partition(
+            graph, palettes, h1, h2, params, ell, global_nodes
+        )
+        return classification.cost(global_nodes)
+
+    return cost

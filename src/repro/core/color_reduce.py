@@ -1,0 +1,466 @@
+"""``ColorReduce`` (Algorithm 1): constant-round deterministic list coloring.
+
+The algorithm, verbatim from the paper:
+
+    ColorReduce(G, l):
+      If G has size O(n): collect G onto a single machine and color locally.
+      Otherwise: G_0, ..., G_{l^0.1} <- Partition(G, l).
+      Let l' = l^0.9 - l^0.6.
+      For each i = 1, ..., l^0.1 - 1, perform ColorReduce(G_i, l') in parallel.
+      Update color palettes of G_{l^0.1}, perform ColorReduce(G_{l^0.1}, l').
+      Update color palettes of G_0, collect G_0 onto a single machine and
+      color locally.
+
+The initial call is ``ColorReduce(G, Delta)``.  Correctness rests on three
+facts the implementation preserves and audits:
+
+* color bins receive *disjoint* color sets, so instances recursing in
+  parallel can never conflict;
+* the leftover bin and the bad graph have their palettes updated (colors of
+  already-colored neighbors removed) before being colored;
+* every instance handed to a recursive call or to the local greedy coloring
+  satisfies ``p(v) > d(v)`` for all of its nodes, so a color always exists.
+
+Round accounting follows the paper's parallel/sequential structure: the
+recursive calls on the color bins run simultaneously (their round counts are
+combined with a maximum), while the leftover bin and the bad graph are
+handled afterwards (their round counts add).  The execution context charges
+the underlying simulator and enforces bandwidth/space budgets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.accounting import CostLedger
+from repro.congested_clique.model import CongestedCliqueSimulator
+from repro.core.context import CongestedCliqueContext, ExecutionContext
+from repro.core.local_coloring import greedy_list_coloring
+from repro.core.params import ColorReduceParameters
+from repro.core.partition import Partition, PartitionResult
+from repro.errors import InvariantViolationError, PaletteError, ReproError
+from repro.graph.graph import Graph
+from repro.graph.palettes import PaletteAssignment
+from repro.graph.validation import assert_valid_list_coloring
+from repro.types import Color, NodeId
+
+
+@dataclass
+class RecursionNode:
+    """Statistics of one node of the recursion tree (for experiments E2/E8)."""
+
+    depth: int
+    num_nodes: int
+    num_edges: int
+    size: int
+    ell: float
+    base_case: bool
+    num_bins: int = 0
+    num_bad_nodes: int = 0
+    num_bad_bins: int = 0
+    bad_graph_size: int = 0
+    selection_evaluations: int = 0
+    selection_cost: float = 0.0
+    invariant_violations: int = 0
+    children: List["RecursionNode"] = field(default_factory=list)
+
+    def max_depth(self) -> int:
+        """Deepest recursion level reachable from this node."""
+        if not self.children:
+            return self.depth
+        return max(child.max_depth() for child in self.children)
+
+    def count_nodes(self) -> int:
+        """Total number of recursion-tree nodes in this subtree."""
+        return 1 + sum(child.count_nodes() for child in self.children)
+
+    def count_base_cases(self) -> int:
+        """Number of locally-colored instances in this subtree."""
+        own = 1 if self.base_case else 0
+        return own + sum(child.count_base_cases() for child in self.children)
+
+
+@dataclass
+class ColorReduceResult:
+    """The output of a full ``ColorReduce`` run."""
+
+    coloring: Dict[NodeId, Color]
+    rounds: int
+    ledger: CostLedger
+    recursion_root: RecursionNode
+    model: str
+    global_nodes: int
+    initial_ell: float
+    total_bad_nodes: int
+    total_invariant_violations: int
+
+    @property
+    def max_recursion_depth(self) -> int:
+        return self.recursion_root.max_depth()
+
+    @property
+    def num_local_colorings(self) -> int:
+        return self.recursion_root.count_base_cases()
+
+
+class ColorReduce:
+    """Deterministic (Δ+1)-list coloring in a simulated model.
+
+    Parameters
+    ----------
+    params:
+        Numeric parameters (paper exponents by default).
+    context:
+        Execution context; defaults to a fresh CONGESTED CLIQUE simulator
+        sized to the input graph.
+    validate:
+        Validate the final coloring against the graph and palettes before
+        returning (cheap, and every experiment keeps it on).
+    """
+
+    #: Words assumed per hash-function seed when broadcasting it.
+    SEED_WORDS = 2
+
+    def __init__(
+        self,
+        params: Optional[ColorReduceParameters] = None,
+        context: Optional[ExecutionContext] = None,
+        validate: bool = True,
+    ) -> None:
+        self.params = params if params is not None else ColorReduceParameters()
+        self._context = context
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: Graph,
+        palettes: Optional[PaletteAssignment] = None,
+        initial_ell: Optional[float] = None,
+        palettes_are_implicit: bool = False,
+    ) -> ColorReduceResult:
+        """Color ``graph`` from ``palettes`` (defaults to ``{0..Δ}`` each).
+
+        ``initial_ell`` defaults to the maximum degree Δ, matching the
+        initial call ``ColorReduce(G, Δ)``.  ``palettes_are_implicit``
+        enables the Theorem 1.3 space accounting for plain (Δ+1)-coloring:
+        palettes are the trivial ``{0..Δ}`` sets and are never shipped, so
+        communication and space are charged without the palette entries.
+        """
+        if palettes is None:
+            palettes = PaletteAssignment.delta_plus_one(graph)
+            palettes_are_implicit = True
+        palettes.validate_for_graph(graph)
+        context = self._context
+        if context is None:
+            simulator = CongestedCliqueSimulator(max(graph.num_nodes, 1))
+            context = CongestedCliqueContext(simulator)
+        raw_ell = float(graph.max_degree()) if initial_ell is None else float(initial_ell)
+        # Algorithm 1 solves (Δ+1)-list coloring: every palette must have more
+        # than l = Δ colors (Corollary 3.3 (i)).  Instances with smaller
+        # (deg+1)-style palettes are the low-space algorithm's job
+        # (Theorem 1.4 / LowSpaceColorReduce).
+        undersized = [
+            node for node in graph.nodes() if palettes.palette_size(node) <= raw_ell
+        ]
+        if undersized:
+            raise PaletteError(
+                f"node {undersized[0]} has only {palettes.palette_size(undersized[0])} "
+                f"colors but ColorReduce requires more than l = {raw_ell:g} per node "
+                "((Δ+1)-list coloring); use LowSpaceColorReduce for (deg+1)-list instances"
+            )
+        ell = max(raw_ell, 1.0)
+        global_nodes = max(graph.num_nodes, 1)
+
+        state = _RunState(
+            context=context,
+            params=self.params,
+            global_nodes=global_nodes,
+            palettes_are_implicit=palettes_are_implicit,
+        )
+        coloring, ledger, tree = self._color_reduce(
+            graph, palettes.copy(), ell, depth=0, state=state
+        )
+        if self.validate:
+            assert_valid_list_coloring(graph, palettes, coloring)
+        return ColorReduceResult(
+            coloring=coloring,
+            rounds=ledger.rounds,
+            ledger=ledger,
+            recursion_root=tree,
+            model=context.model_name,
+            global_nodes=global_nodes,
+            initial_ell=ell,
+            total_bad_nodes=state.total_bad_nodes,
+            total_invariant_violations=state.total_invariant_violations,
+        )
+
+    # ------------------------------------------------------------------
+    # the recursion
+    # ------------------------------------------------------------------
+    def _color_reduce(
+        self,
+        graph: Graph,
+        palettes: PaletteAssignment,
+        ell: float,
+        depth: int,
+        state: "_RunState",
+    ) -> tuple[Dict[NodeId, Color], CostLedger, RecursionNode]:
+        ledger = CostLedger()
+        size = graph.size()
+        node = RecursionNode(
+            depth=depth,
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            size=size,
+            ell=ell,
+            base_case=False,
+        )
+        if graph.num_nodes == 0:
+            node.base_case = True
+            return {}, ledger, node
+
+        collectable = size <= self.params.collect_threshold(state.global_nodes)
+        words = self._collect_words(graph, palettes, state)
+        fits_locally = words <= state.context.local_instance_capacity_words()
+        if (collectable and fits_locally) or graph.num_edges == 0:
+            node.base_case = True
+            coloring = self._collect_and_color(graph, palettes, ledger, state, label="local-color")
+            return coloring, ledger, node
+
+        if depth >= self.params.max_recursion_depth:
+            if fits_locally:
+                node.base_case = True
+                coloring = self._collect_and_color(
+                    graph, palettes, ledger, state, label="local-color(depth-cap)"
+                )
+                return coloring, ledger, node
+            raise ReproError(
+                f"recursion depth {depth} reached with an instance of size {size} "
+                f"that does not fit locally ({words} words); "
+                "check the partition parameters"
+            )
+
+        # --- Partition(G, l) -------------------------------------------------
+        state.partition_counter += 1
+        partition = Partition(self.params).run(
+            graph,
+            palettes,
+            ell,
+            state.global_nodes,
+            context=state.context,
+            salt=state.partition_counter,
+        )
+        node.num_bins = partition.num_bins
+        node.num_bad_nodes = partition.num_bad_nodes
+        node.num_bad_bins = partition.num_bad_bins
+        node.bad_graph_size = partition.bad_graph.size()
+        node.selection_evaluations = partition.selection.evaluations
+        node.selection_cost = partition.selection.cost
+        state.total_bad_nodes += partition.num_bad_nodes
+        node.invariant_violations = self._audit_invariant(partition, ell, state)
+
+        ledger.charge("hash-selection", partition.selection.rounds_charged)
+        seed_rounds = state.context.record_seed_broadcast(self.SEED_WORDS, label="seed-broadcast")
+        ledger.charge("seed-broadcast", seed_rounds)
+        shuffle_words = self._instance_words(graph, palettes, state)
+        shuffle_rounds = state.context.record_partition_shuffle(
+            shuffle_words, label="partition-shuffle"
+        )
+        ledger.charge("partition-shuffle", shuffle_rounds, shuffle_words)
+        state.context.record_space(shuffle_words)
+
+        next_ell = self.params.next_ell(ell)
+        coloring: Dict[NodeId, Color] = {}
+
+        # --- color bins recurse in parallel ---------------------------------
+        parallel_ledger: Optional[CostLedger] = None
+        for bin_instance in partition.color_bins:
+            if bin_instance.is_empty:
+                continue
+            child_coloring, child_ledger, child_node = self._color_reduce(
+                bin_instance.graph, bin_instance.palettes, next_ell, depth + 1, state
+            )
+            coloring.update(child_coloring)
+            node.children.append(child_node)
+            if parallel_ledger is None:
+                parallel_ledger = child_ledger
+            else:
+                parallel_ledger.merge_parallel(child_ledger)
+        if parallel_ledger is not None:
+            ledger.merge_sequential(parallel_ledger)
+
+        # --- leftover bin: update palettes, then recurse ---------------------
+        leftover = partition.leftover
+        if not leftover.is_empty:
+            leftover_palettes = leftover.palettes
+            removed = leftover_palettes.remove_colors_used_by_neighbors(graph, coloring)
+            update_rounds = state.context.record_palette_update(
+                max(removed, 1), label="palette-update"
+            )
+            ledger.charge("palette-update", update_rounds, removed)
+            child_coloring, child_ledger, child_node = self._color_reduce(
+                leftover.graph, leftover_palettes, next_ell, depth + 1, state
+            )
+            coloring.update(child_coloring)
+            node.children.append(child_node)
+            ledger.merge_sequential(child_ledger)
+
+        # --- bad graph G_0: update palettes, collect, color locally ----------
+        if partition.bad_graph.num_nodes > 0:
+            bad_palettes = palettes.subset(partition.bad_graph.nodes())
+            removed = bad_palettes.remove_colors_used_by_neighbors(graph, coloring)
+            update_rounds = state.context.record_palette_update(
+                max(removed, 1), label="palette-update"
+            )
+            ledger.charge("palette-update", update_rounds, removed)
+            bad_coloring = self._collect_and_color(
+                partition.bad_graph, bad_palettes, ledger, state, label="bad-graph-color"
+            )
+            coloring.update(bad_coloring)
+
+        return coloring, ledger, node
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _collect_and_color(
+        self,
+        graph: Graph,
+        palettes: PaletteAssignment,
+        ledger: CostLedger,
+        state: "_RunState",
+        label: str,
+    ) -> Dict[NodeId, Color]:
+        capacity = state.context.local_instance_capacity_words()
+        words = self._collect_words(graph, palettes, state)
+        if words <= capacity:
+            rounds = state.context.record_collect(words, label=label)
+            ledger.charge(label, rounds, words)
+            state.context.record_space(words, max_local_words=words)
+            return greedy_list_coloring(graph, palettes)
+        # The instance does not fit on one machine.  The deterministic
+        # algorithm never reaches this point (Corollary 3.10 bounds |G_0| by
+        # O(n)), but the randomized baseline occasionally does on unlucky
+        # seeds.  Rather than failing, split the instance into pieces that do
+        # fit and color them sequentially, updating palettes in between —
+        # model-legal, and the extra rounds are exactly the measured price of
+        # the missing guarantee.
+        coloring: Dict[NodeId, Color] = {}
+        for piece in self._split_for_capacity(graph, palettes, state, capacity):
+            piece_palettes = palettes.subset(piece.nodes())
+            removed = piece_palettes.remove_colors_used_by_neighbors(graph, coloring)
+            if removed:
+                update_rounds = state.context.record_palette_update(
+                    removed, label="palette-update"
+                )
+                ledger.charge("palette-update", update_rounds, removed)
+            piece_words = self._collect_words(piece, piece_palettes, state)
+            rounds = state.context.record_collect(piece_words, label=label)
+            ledger.charge(label, rounds, piece_words)
+            state.context.record_space(piece_words, max_local_words=piece_words)
+            coloring.update(greedy_list_coloring(piece, piece_palettes))
+        return coloring
+
+    def _split_for_capacity(
+        self,
+        graph: Graph,
+        palettes: PaletteAssignment,
+        state: "_RunState",
+        capacity: int,
+    ) -> List[Graph]:
+        """Split an oversized instance into induced subgraphs that fit locally."""
+        pieces: List[Graph] = []
+        current: List[NodeId] = []
+        current_words = 0
+        for node in sorted(graph.nodes()):
+            node_words = 1 + graph.degree(node)
+            if not state.palettes_are_implicit:
+                node_words += min(palettes.palette_size(node), graph.degree(node) + 1)
+            if current and current_words + node_words > capacity:
+                pieces.append(graph.induced_subgraph(current))
+                current = []
+                current_words = 0
+            current.append(node)
+            current_words += node_words
+        if current:
+            pieces.append(graph.induced_subgraph(current))
+        return pieces
+
+    def _collect_words(
+        self, graph: Graph, palettes: PaletteAssignment, state: "_RunState"
+    ) -> int:
+        """Words needed to ship an instance to one machine for local coloring.
+
+        Section 3.6: when coloring locally we may drop palette colors down to
+        ``d(v) + 1`` per node, so the shipped palette data is ``O(m + n)``
+        regardless of the original palette sizes.  With implicit palettes
+        (plain (Δ+1)-coloring) no palette entries travel at all.
+        """
+        words = graph.size()
+        if not state.palettes_are_implicit:
+            words += sum(
+                min(palettes.palette_size(v), graph.degree(v) + 1) for v in graph.nodes()
+            )
+        return words
+
+    def _instance_words(
+        self, graph: Graph, palettes: PaletteAssignment, state: "_RunState"
+    ) -> int:
+        """Words of an instance when redistributing it across machines."""
+        words = graph.size()
+        if not state.palettes_are_implicit:
+            words += palettes.total_size()
+        return words
+
+    def _audit_invariant(
+        self, partition: PartitionResult, ell: float, state: "_RunState"
+    ) -> int:
+        """Audit Lemma 3.2 on the freshly produced color-bin instances.
+
+        Checks, for every good node ``v`` placed in a color bin, that
+        ``l' < p'(v)``, ``d'(v) <= l' + palette_slack(l')`` and
+        ``d'(v) < p'(v)``.  Violations are counted (and surface in the
+        recursion statistics); with the paper's exponents on inputs
+        satisfying Corollary 3.3 there should be none, and
+        ``strict_invariants`` turns any violation into an error.
+        """
+        next_ell = self.params.next_ell(ell)
+        slack = self.params.palette_slack(next_ell)
+        literal_lemma = not self.params.is_scaled and not self.params.bins_are_clamped(ell)
+        violations = 0
+        for bin_instance in partition.color_bins:
+            for v in bin_instance.graph.nodes():
+                d_prime = bin_instance.graph.degree(v)
+                p_prime = bin_instance.palettes.palette_size(v)
+                if literal_lemma:
+                    if next_ell >= p_prime:
+                        violations += 1
+                    if d_prime > next_ell + slack:
+                        violations += 1
+                if d_prime >= p_prime:
+                    violations += 1
+        state.total_invariant_violations += violations
+        if violations and state.strict_invariants:
+            raise InvariantViolationError(
+                f"{violations} invariant violations in a Partition call at l={ell}"
+            )
+        return violations
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping threaded through one ``ColorReduce`` run."""
+
+    context: ExecutionContext
+    params: ColorReduceParameters
+    global_nodes: int
+    palettes_are_implicit: bool = False
+    strict_invariants: bool = False
+    total_bad_nodes: int = 0
+    total_invariant_violations: int = 0
+    partition_counter: int = 0

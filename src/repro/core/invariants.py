@@ -1,0 +1,107 @@
+"""The Lemma 3.2 / Corollary 3.3 invariant, as a standalone auditor.
+
+Corollary 3.3: the input instance of *any* call to ``Partition`` satisfies,
+for all of its nodes ``v``:
+
+    (i)   l < p(v),
+    (ii)  d(v) <= l + l^0.7,
+    (iii) d(v) < p(v).
+
+Lemma 3.2 shows the three conditions are preserved for all *good* nodes with
+``l' = l^0.9 - l^0.6``.  The experiments audit both directions: that inputs
+satisfy Corollary 3.3, and that the instances produced for the next level
+satisfy it again with ``l'``.
+
+Condition (iii) is the one correctness rests on (a node must always have more
+palette colors than uncolored neighbors); conditions (i)–(ii) are the
+quantitative handles that make the recursion shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.params import ColorReduceParameters
+from repro.graph.graph import Graph
+from repro.graph.palettes import PaletteAssignment
+from repro.types import NodeId
+
+
+@dataclass
+class InvariantViolation:
+    """One node failing one of the Corollary 3.3 conditions."""
+
+    node: NodeId
+    condition: str
+    detail: str
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of auditing one instance against Corollary 3.3."""
+
+    ell: float
+    num_nodes: int
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+    @property
+    def num_violations(self) -> int:
+        return len(self.violations)
+
+    def violations_by_condition(self) -> dict:
+        counts: dict = {}
+        for violation in self.violations:
+            counts[violation.condition] = counts.get(violation.condition, 0) + 1
+        return counts
+
+
+def check_invariant(
+    graph: Graph,
+    palettes: PaletteAssignment,
+    ell: float,
+    params: ColorReduceParameters | None = None,
+    check_ell_conditions: bool = True,
+) -> InvariantReport:
+    """Audit Corollary 3.3 on one instance.
+
+    ``check_ell_conditions`` controls whether the quantitative conditions (i)
+    and (ii) involving ``l`` are audited; set it to False for scaled-mode
+    instances where only the correctness condition (iii) is meaningful.
+    """
+    if params is None:
+        params = ColorReduceParameters()
+    report = InvariantReport(ell=ell, num_nodes=graph.num_nodes)
+    slack = params.palette_slack(ell)
+    for node in graph.nodes():
+        degree = graph.degree(node)
+        palette = palettes.palette_size(node)
+        if check_ell_conditions and not ell < palette:
+            report.violations.append(
+                InvariantViolation(
+                    node=node,
+                    condition="(i) l < p(v)",
+                    detail=f"l={ell}, p(v)={palette}",
+                )
+            )
+        if check_ell_conditions and not degree <= ell + slack:
+            report.violations.append(
+                InvariantViolation(
+                    node=node,
+                    condition="(ii) d(v) <= l + l^0.7",
+                    detail=f"d(v)={degree}, l={ell}, slack={slack:.2f}",
+                )
+            )
+        if not degree < palette:
+            report.violations.append(
+                InvariantViolation(
+                    node=node,
+                    condition="(iii) d(v) < p(v)",
+                    detail=f"d(v)={degree}, p(v)={palette}",
+                )
+            )
+    return report

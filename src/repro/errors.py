@@ -1,0 +1,63 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish the failure modes that matter:
+
+* model violations (a protocol exceeded a round/space/message budget),
+* invalid colorings (a produced coloring is not proper or not from palettes),
+* invariant violations (the paper's Lemma 3.2 invariant failed),
+* configuration errors (impossible parameters).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when parameters passed to a component are inconsistent."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (self-loops, unknown nodes, ...)."""
+
+
+class PaletteError(ReproError):
+    """Raised when a palette assignment is inconsistent with the graph."""
+
+
+class ColoringError(ReproError):
+    """Raised when a produced coloring is improper or violates palettes."""
+
+
+class ModelViolationError(ReproError):
+    """Raised when a simulated protocol exceeds a model budget.
+
+    Examples: a congested-clique node sending more than its per-round word
+    budget, or an MPC machine exceeding its local space.
+    """
+
+
+class SpaceLimitExceededError(ModelViolationError):
+    """Raised when an MPC machine exceeds its local-space budget."""
+
+
+class BandwidthExceededError(ModelViolationError):
+    """Raised when a congested-clique node exceeds its per-round bandwidth."""
+
+
+class InvariantViolationError(ReproError):
+    """Raised when the Lemma 3.2 / Corollary 3.3 invariant is violated."""
+
+
+class DerandomizationError(ReproError):
+    """Raised when conditional-expectation seed selection cannot find a seed
+    meeting the required cost bound (should not happen if the cost analysis
+    is correct; surfaced loudly rather than silently degrading)."""
+
+
+class HashFamilyError(ReproError):
+    """Raised for invalid hash-family parameters (e.g. domain too large)."""

@@ -1,0 +1,49 @@
+"""Experiment harness: regenerate every quantitative claim of the paper.
+
+The paper is a theory paper — its "evaluation" consists of theorem
+statements, lemma bounds and a prior-work complexity comparison.  DESIGN.md
+maps each of those claims to an experiment (E1–E9); this package implements
+them.  Every experiment is a function returning one or more
+:class:`repro.analysis.reporting.Table` objects, so the same code serves:
+
+* the benchmark harness (``benchmarks/bench_e*.py``) which runs them under
+  ``pytest-benchmark`` and prints the tables into ``bench_output.txt``,
+* the examples and EXPERIMENTS.md, which quote the same tables,
+* the test suite, which asserts each experiment's "shape" claim
+  (rounds flat / depth <= 9 / no bad bins / logarithmic baselines / ...).
+
+Use :func:`repro.experiments.registry.get_experiment` to look experiments up
+by id, or call the ``run_e*`` functions in
+:mod:`repro.experiments.experiments` directly.
+"""
+
+from repro.experiments.configs import ExperimentConfig, SCALES
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.experiments import (
+    run_e1_constant_rounds,
+    run_e2_recursion_depth,
+    run_e3_bad_nodes,
+    run_e4_baseline_rounds,
+    run_e5_low_space,
+    run_e6_space_accounting,
+    run_e7_derandomization,
+    run_e8_invariants,
+    run_e9_hash_family,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "SCALES",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_e1_constant_rounds",
+    "run_e2_recursion_depth",
+    "run_e3_bad_nodes",
+    "run_e4_baseline_rounds",
+    "run_e5_low_space",
+    "run_e6_space_accounting",
+    "run_e7_derandomization",
+    "run_e8_invariants",
+    "run_e9_hash_family",
+]

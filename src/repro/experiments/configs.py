@@ -1,0 +1,64 @@
+"""Experiment scales and shared configuration.
+
+Each experiment can run at one of three scales so that the same code serves
+quick test runs (seconds), the default benchmark run (a couple of minutes in
+total), and a more thorough sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.params import ColorReduceParameters
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Sizes used by the sweeps of one scale."""
+
+    name: str
+    node_counts: Sequence[int]
+    degree_targets: Sequence[int]
+    fixed_degree: int
+    fixed_nodes: int
+    seeds: Sequence[int]
+
+
+SCALES: Dict[str, ExperimentConfig] = {
+    "smoke": ExperimentConfig(
+        name="smoke",
+        node_counts=(100, 200),
+        degree_targets=(16, 32),
+        fixed_degree=24,
+        fixed_nodes=150,
+        seeds=(1,),
+    ),
+    "default": ExperimentConfig(
+        name="default",
+        node_counts=(200, 400, 600, 800, 1000),
+        degree_targets=(16, 32, 64, 128, 200),
+        fixed_degree=48,
+        fixed_nodes=400,
+        seeds=(1, 2),
+    ),
+    "full": ExperimentConfig(
+        name="full",
+        node_counts=(200, 400, 800, 1200, 1600, 2000),
+        degree_targets=(16, 32, 64, 128, 256, 400),
+        fixed_degree=64,
+        fixed_nodes=600,
+        seeds=(1, 2, 3),
+    ),
+}
+
+
+def scaled_params_for(delta: float) -> ColorReduceParameters:
+    """Scaled-mode parameters playing the role of the paper's ``l^0.1`` bins.
+
+    The bin count grows slowly with the degree (cube-root rather than the
+    paper's tenth-root, so that it separates from 2 at laptop scale) and the
+    parameter object itself further caps it at ``l^(1/3)`` per level.
+    """
+    bins = max(2, round(float(delta) ** (1.0 / 3.0)))
+    return ColorReduceParameters.scaled(num_bins=bins)

@@ -1,0 +1,102 @@
+"""Registry mapping experiment ids to their implementations and claims."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments import experiments as _impl
+from repro.experiments.experiments import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One entry of the experiment index (DESIGN.md section 4)."""
+
+    experiment_id: str
+    claim: str
+    paper_reference: str
+    runner: Callable[[str], ExperimentResult]
+    bench_target: str
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "E1": ExperimentSpec(
+        "E1",
+        "Deterministic (Δ+1)-list coloring runs in a constant number of rounds",
+        "Theorems 1.1 and 1.2",
+        _impl.run_e1_constant_rounds,
+        "benchmarks/bench_e1_constant_rounds.py",
+    ),
+    "E2": ExperimentSpec(
+        "E2",
+        "Nine recursion levels reduce every bin's instance to size O(n)",
+        "Lemmas 3.11-3.14",
+        _impl.run_e2_recursion_depth,
+        "benchmarks/bench_e2_recursion_depth.py",
+    ),
+    "E3": ExperimentSpec(
+        "E3",
+        "The selected hash pair yields no bad bins, at most n/l^2 bad nodes and a bad graph of size O(n)",
+        "Lemma 3.9 and Corollary 3.10",
+        _impl.run_e3_bad_nodes,
+        "benchmarks/bench_e3_bad_nodes.py",
+    ),
+    "E4": ExperimentSpec(
+        "E4",
+        "Constant rounds versus the logarithmic-round prior art",
+        "Section 1.3 comparison",
+        _impl.run_e4_baseline_rounds,
+        "benchmarks/bench_e4_baseline_rounds.py",
+    ),
+    "E5": ExperimentSpec(
+        "E5",
+        "(deg+1)-list coloring in O(log Δ + log log n) low-space MPC rounds",
+        "Theorem 1.4",
+        _impl.run_e5_low_space,
+        "benchmarks/bench_e5_low_space.py",
+    ),
+    "E6": ExperimentSpec(
+        "E6",
+        "O(n) local space with O(nΔ) total space (list) and O(m+n) total space (implicit palettes)",
+        "Theorems 1.2 and 1.3",
+        _impl.run_e6_space_accounting,
+        "benchmarks/bench_e6_space.py",
+    ),
+    "E7": ExperimentSpec(
+        "E7",
+        "Conditional-expectation selection finds a pair meeting the expected-cost bound",
+        "Lemma 3.8 and Section 2.4",
+        _impl.run_e7_derandomization,
+        "benchmarks/bench_e7_derandomization.py",
+    ),
+    "E8": ExperimentSpec(
+        "E8",
+        "The palette/degree invariant holds at every recursion level",
+        "Lemma 3.2 and Corollary 3.3",
+        _impl.run_e8_invariants,
+        "benchmarks/bench_e8_invariants.py",
+    ),
+    "E9": ExperimentSpec(
+        "E9",
+        "The k-wise independent hash family obeys the Lemma 2.2 tail bound",
+        "Lemmas 2.2 and 2.4",
+        _impl.run_e9_hash_family,
+        "benchmarks/bench_e9_hash_family.py",
+    ),
+}
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    """All registered experiments in id order."""
+    return [EXPERIMENTS[key] for key in sorted(EXPERIMENTS)]
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look an experiment up by id (e.g. ``"E3"``)."""
+    try:
+        return EXPERIMENTS[experiment_id.upper()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {sorted(EXPERIMENTS)}"
+        ) from exc

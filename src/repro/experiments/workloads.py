@@ -1,0 +1,133 @@
+"""Named workload suites used by experiments, examples and ablations.
+
+A workload is a named recipe producing a graph and a palette assignment.
+Keeping them in one registry means every experiment, example and ablation
+draws from the same, documented set of instances, and EXPERIMENTS.md can
+refer to workloads by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graph import Graph, PaletteAssignment, generators
+
+#: A workload builder: (num_nodes, seed) -> (graph, palettes).
+WorkloadBuilder = Callable[[int, int], Tuple[Graph, PaletteAssignment]]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named workload recipe."""
+
+    name: str
+    description: str
+    builder: WorkloadBuilder
+    problem: str  # "(Δ+1)-coloring", "(Δ+1)-list coloring" or "(deg+1)-list coloring"
+
+
+def _dense_random(n: int, seed: int) -> Tuple[Graph, PaletteAssignment]:
+    graph = generators.erdos_renyi(n, min(0.9, 40.0 / max(n - 1, 1)) * 2, seed=seed)
+    return graph, PaletteAssignment.delta_plus_one(graph)
+
+
+def _dense_list(n: int, seed: int) -> Tuple[Graph, PaletteAssignment]:
+    graph = generators.erdos_renyi(n, min(0.9, 40.0 / max(n - 1, 1)) * 2, seed=seed)
+    return graph, generators.shared_universe_palettes(graph, seed=seed + 1)
+
+
+def _adversarial_list(n: int, seed: int) -> Tuple[Graph, PaletteAssignment]:
+    graph = generators.erdos_renyi(n, min(0.9, 30.0 / max(n - 1, 1)), seed=seed)
+    return graph, generators.adversarial_disjoint_palettes(graph, seed=seed + 1)
+
+
+def _interference(n: int, seed: int) -> Tuple[Graph, PaletteAssignment]:
+    clique_size = max(4, min(24, n // 12))
+    cliques = max(2, n // clique_size)
+    graph = generators.ring_of_cliques(cliques, clique_size)
+    return graph, generators.shared_universe_palettes(graph, seed=seed)
+
+
+def _social_network(n: int, seed: int) -> Tuple[Graph, PaletteAssignment]:
+    graph = generators.power_law(n, attachment=max(2, min(16, n // 60)), seed=seed)
+    return graph, PaletteAssignment.degree_plus_one(graph)
+
+
+def _bipartite_schedule(n: int, seed: int) -> Tuple[Graph, PaletteAssignment]:
+    left = n // 2
+    graph = generators.random_bipartite(left, n - left, min(0.9, 24.0 / max(n, 1)), seed=seed)
+    return graph, PaletteAssignment.degree_plus_one(graph)
+
+
+def _near_regular(n: int, seed: int) -> Tuple[Graph, PaletteAssignment]:
+    degree = max(4, min(48, n // 10))
+    graph = generators.random_regular_like(n, degree, seed=seed)
+    return graph, PaletteAssignment.delta_plus_one(graph)
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    "dense-random": WorkloadSpec(
+        "dense-random",
+        "Erdős–Rényi graph with average degree ~80; the headline dense regime",
+        _dense_random,
+        "(Δ+1)-coloring",
+    ),
+    "dense-random-lists": WorkloadSpec(
+        "dense-random-lists",
+        "Same graph with per-node (Δ+1)-lists from a shared spectrum",
+        _dense_list,
+        "(Δ+1)-list coloring",
+    ),
+    "adversarial-lists": WorkloadSpec(
+        "adversarial-lists",
+        "Lists drawn from per-node blocks of a universe of size ~n^2 "
+        "(stresses the [n^2] color-hash domain)",
+        _adversarial_list,
+        "(Δ+1)-list coloring",
+    ),
+    "interference-ring": WorkloadSpec(
+        "interference-ring",
+        "Ring of dense cliques (frequency-assignment style interference graph)",
+        _interference,
+        "(Δ+1)-list coloring",
+    ),
+    "social-power-law": WorkloadSpec(
+        "social-power-law",
+        "Preferential-attachment graph with heavy-tailed degrees",
+        _social_network,
+        "(deg+1)-list coloring",
+    ),
+    "bipartite-schedule": WorkloadSpec(
+        "bipartite-schedule",
+        "Random bipartite conflict graph (two-sided scheduling)",
+        _bipartite_schedule,
+        "(deg+1)-list coloring",
+    ),
+    "near-regular": WorkloadSpec(
+        "near-regular",
+        "Near-regular random graph (uniform degrees, no tail)",
+        _near_regular,
+        "(Δ+1)-coloring",
+    ),
+}
+
+
+def list_workloads() -> List[WorkloadSpec]:
+    """All registered workloads in name order."""
+    return [WORKLOADS[name] for name in sorted(WORKLOADS)]
+
+
+def build_workload(
+    name: str, num_nodes: int, seed: int = 1
+) -> Tuple[Graph, PaletteAssignment, WorkloadSpec]:
+    """Instantiate a named workload at the requested size."""
+    try:
+        spec = WORKLOADS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known workloads: {sorted(WORKLOADS)}"
+        ) from exc
+    graph, palettes = spec.builder(num_nodes, seed)
+    return graph, palettes, spec

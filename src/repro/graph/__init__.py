@@ -1,0 +1,31 @@
+"""Graph substrate: data structures, palettes, generators and validation.
+
+The paper's algorithms operate on an undirected simple graph together with a
+per-node color palette.  This subpackage provides:
+
+* :class:`repro.graph.graph.Graph` — an adjacency-set graph with the
+  operations the algorithms need (induced subgraphs, degrees, size),
+* :class:`repro.graph.palettes.PaletteAssignment` — per-node palettes with
+  the restriction/removal operations used by ``Partition`` and the
+  palette-update steps of ``ColorReduce``,
+* :mod:`repro.graph.generators` — synthetic workload generators,
+* :mod:`repro.graph.validation` — proper/list-coloring validation.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.palettes import PaletteAssignment
+from repro.graph.validation import (
+    assert_proper_coloring,
+    assert_valid_list_coloring,
+    is_proper_coloring,
+    is_valid_list_coloring,
+)
+
+__all__ = [
+    "Graph",
+    "PaletteAssignment",
+    "assert_proper_coloring",
+    "assert_valid_list_coloring",
+    "is_proper_coloring",
+    "is_valid_list_coloring",
+]

@@ -1,0 +1,231 @@
+"""Undirected simple graph used throughout the reproduction.
+
+The congested-clique and MPC simulators, the coloring algorithms and the
+baselines all operate on this structure.  It is intentionally small: an
+adjacency-set representation with the handful of operations the paper's
+algorithms actually need (degrees, induced subgraphs, size accounting).
+
+Nodes are arbitrary hashable integers; they do *not* need to be contiguous,
+because recursive calls of ``ColorReduce`` operate on induced subgraphs that
+keep the original node identifiers (the paper's hash function ``h1`` maps the
+*global* identifier space ``[n]`` to bins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import GraphError
+from repro.types import Edge, NodeId
+
+
+class Graph:
+    """An undirected simple graph stored as adjacency sets.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of node identifiers to pre-insert (isolated nodes
+        are meaningful for coloring: they still need a color).
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Self-loops are rejected;
+        parallel edges are collapsed.
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId] = (),
+        edges: Iterable[Edge] = (),
+    ) -> None:
+        self._adj: Dict[NodeId, Set[NodeId]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        """Insert ``node`` if not already present."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: NodeId, v: NodeId) -> None:
+        """Insert the undirected edge ``{u, v}``, adding endpoints as needed."""
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not allowed")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge], nodes: Iterable[NodeId] = ()) -> "Graph":
+        """Build a graph from an edge list (plus optional isolated nodes)."""
+        return cls(nodes=nodes, edges=edges)
+
+    @classmethod
+    def complete(cls, n: int) -> "Graph":
+        """The complete graph on nodes ``0..n-1``."""
+        graph = cls(nodes=range(n))
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def empty(cls, n: int) -> "Graph":
+        """The edgeless graph on nodes ``0..n-1``."""
+        return cls(nodes=range(n))
+
+    def copy(self) -> "Graph":
+        """An independent deep copy of this graph."""
+        clone = Graph()
+        clone._adj = {node: set(neigh) for node, neigh in self._adj.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges."""
+        return sum(len(neigh) for neigh in self._adj.values()) // 2
+
+    def nodes(self) -> List[NodeId]:
+        """All node identifiers (in insertion order)."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as ``(u, v)`` with ``u < v``."""
+        for u, neigh in self._adj.items():
+            for v in neigh:
+                if u < v:
+                    yield (u, v)
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Whether the edge ``{u, v}`` is present."""
+        return v in self._adj.get(u, ())
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        """The neighbor set of ``node`` (a live view is never exposed)."""
+        try:
+            return set(self._adj[node])
+        except KeyError as exc:
+            raise GraphError(f"unknown node {node}") from exc
+
+    def degree(self, node: NodeId) -> int:
+        """Degree of ``node``."""
+        try:
+            return len(self._adj[node])
+        except KeyError as exc:
+            raise GraphError(f"unknown node {node}") from exc
+
+    def degrees(self) -> Dict[NodeId, int]:
+        """Mapping from node to degree."""
+        return {node: len(neigh) for node, neigh in self._adj.items()}
+
+    def max_degree(self) -> int:
+        """The maximum degree Δ (0 for an empty or edgeless graph)."""
+        if not self._adj:
+            return 0
+        return max(len(neigh) for neigh in self._adj.values())
+
+    def size(self) -> int:
+        """The paper's notion of instance *size*: ``num_nodes + num_edges``.
+
+        Lemma 3.14 argues the graph induced by each bin reaches size ``O(n)``;
+        this is the quantity ``ColorReduce`` compares against its collection
+        threshold.
+        """
+        return self.num_nodes + self.num_edges
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
+        """The subgraph induced by ``nodes`` (unknown ids are ignored)."""
+        keep = {node for node in nodes if node in self._adj}
+        sub = Graph(nodes=keep)
+        for u in keep:
+            for v in self._adj[u]:
+                if v in keep and u < v:
+                    sub.add_edge(u, v)
+        return sub
+
+    def subgraph_degrees_within(self, nodes: Iterable[NodeId]) -> Dict[NodeId, int]:
+        """Degrees restricted to the induced subgraph, without building it.
+
+        This is the quantity ``d'(v)`` of Definition 3.1 (degree within the
+        bin of ``v``) and is needed when classifying good/bad nodes before
+        materialising the bin subgraphs.
+        """
+        keep = {node for node in nodes if node in self._adj}
+        return {u: sum(1 for v in self._adj[u] if v in keep) for u in keep}
+
+    def connected_components(self) -> List[Set[NodeId]]:
+        """Connected components as a list of node sets (iterative BFS)."""
+        seen: Set[NodeId] = set()
+        components: List[Set[NodeId]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            seen.add(start)
+            while frontier:
+                node = frontier.pop()
+                for neigh in self._adj[node]:
+                    if neigh not in seen:
+                        seen.add(neigh)
+                        component.add(neigh)
+                        frontier.append(neigh)
+            components.append(component)
+        return components
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def relabeled(self) -> Tuple["Graph", Dict[NodeId, NodeId]]:
+        """Return a copy with nodes relabeled ``0..n-1`` plus the mapping.
+
+        The mapping sends *original* ids to *new* ids.  Useful for handing
+        instances to array-based baselines.
+        """
+        mapping = {node: index for index, node in enumerate(self._adj)}
+        relabeled = Graph(nodes=mapping.values())
+        for u, v in self.edges():
+            relabeled.add_edge(mapping[u], mapping[v])
+        return relabeled, mapping
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Histogram mapping degree value to the number of nodes with it."""
+    histogram: Dict[int, int] = {}
+    for degree in graph.degrees().values():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def average_degree(graph: Graph) -> float:
+    """Average degree (0.0 for an empty graph)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_nodes

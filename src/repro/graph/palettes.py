@@ -1,0 +1,210 @@
+"""Per-node color palettes for (Δ+1)-, (Δ+1)-list- and (deg+1)-list-coloring.
+
+The paper distinguishes three problem variants (Section 1):
+
+* ``(Δ+1)-coloring`` — every palette is ``{0, ..., Δ}``,
+* ``(Δ+1)-list coloring`` — each node has an arbitrary palette of Δ+1 colors,
+* ``(deg+1)-list coloring`` — node ``v`` has an arbitrary palette of
+  ``deg(v)+1`` colors.
+
+:class:`PaletteAssignment` stores palettes as per-node ordered sets and
+provides exactly the operations the algorithms perform on them:
+
+* restriction to the colors a hash function maps to a given bin
+  (``Partition`` / ``LowSpacePartition``),
+* removal of colors already used by colored neighbors (the two
+  "update color palettes" steps in ``ColorReduce``),
+* size queries ``p(v)`` used by the good/bad node classification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.errors import PaletteError
+from repro.graph.graph import Graph
+from repro.types import Color, ColoringMap, NodeId
+
+
+class PaletteAssignment:
+    """A mapping from node to its (mutable) color palette.
+
+    The class never shares palette storage between nodes, so restricting or
+    shrinking one node's palette can never affect another node — matching the
+    model, where each node holds its own palette locally.
+    """
+
+    __slots__ = ("_palettes",)
+
+    def __init__(self, palettes: Mapping[NodeId, Iterable[Color]]) -> None:
+        self._palettes: Dict[NodeId, Set[Color]] = {
+            node: set(colors) for node, colors in palettes.items()
+        }
+
+    # ------------------------------------------------------------------
+    # constructors for the three problem variants
+    # ------------------------------------------------------------------
+    @classmethod
+    def delta_plus_one(cls, graph: Graph, delta: Optional[int] = None) -> "PaletteAssignment":
+        """Palettes ``{0..Δ}`` for every node (plain ``(Δ+1)``-coloring)."""
+        max_degree = graph.max_degree() if delta is None else delta
+        shared = range(max_degree + 1)
+        return cls({node: shared for node in graph.nodes()})
+
+    @classmethod
+    def degree_plus_one(cls, graph: Graph) -> "PaletteAssignment":
+        """Palettes ``{0..deg(v)}`` (the canonical ``(deg+1)`` instance)."""
+        return cls({node: range(graph.degree(node) + 1) for node in graph.nodes()})
+
+    @classmethod
+    def from_lists(cls, palettes: Mapping[NodeId, Iterable[Color]]) -> "PaletteAssignment":
+        """Arbitrary list-coloring palettes."""
+        return cls(palettes)
+
+    def copy(self) -> "PaletteAssignment":
+        """Deep copy (palette sets are duplicated)."""
+        return PaletteAssignment(self._palettes)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._palettes
+
+    def __len__(self) -> int:
+        return len(self._palettes)
+
+    def nodes(self) -> List[NodeId]:
+        """Nodes that have a palette."""
+        return list(self._palettes)
+
+    def palette(self, node: NodeId) -> Set[Color]:
+        """A copy of the palette of ``node``."""
+        try:
+            return set(self._palettes[node])
+        except KeyError as exc:
+            raise PaletteError(f"node {node} has no palette") from exc
+
+    def palette_size(self, node: NodeId) -> int:
+        """``p(v)``: the number of colors currently available to ``node``."""
+        try:
+            return len(self._palettes[node])
+        except KeyError as exc:
+            raise PaletteError(f"node {node} has no palette") from exc
+
+    def total_size(self) -> int:
+        """Total number of (node, color) palette entries — the paper's
+        ``Θ(nΔ)`` input-size term for list coloring."""
+        return sum(len(colors) for colors in self._palettes.values())
+
+    def color_universe(self) -> Set[Color]:
+        """The union of all palettes (size at most ``n**2`` per Section 3)."""
+        universe: Set[Color] = set()
+        for colors in self._palettes.values():
+            universe.update(colors)
+        return universe
+
+    def contains_color(self, node: NodeId, color: Color) -> bool:
+        """Whether ``color`` is currently in the palette of ``node``."""
+        return color in self._palettes.get(node, ())
+
+    # ------------------------------------------------------------------
+    # the operations the algorithms perform
+    # ------------------------------------------------------------------
+    def restricted_to(
+        self,
+        nodes: Iterable[NodeId],
+        keep_color: Optional[Callable[[Color], bool]] = None,
+    ) -> "PaletteAssignment":
+        """A new assignment for ``nodes``, optionally filtering colors.
+
+        ``Partition`` restricts the palettes of nodes in bins
+        ``1..ℓ^0.1 - 1`` to the colors hashed to their bin: pass
+        ``keep_color=lambda c: h2(c) == bin_of_node``.
+        """
+        result: Dict[NodeId, Set[Color]] = {}
+        for node in nodes:
+            try:
+                colors = self._palettes[node]
+            except KeyError as exc:
+                raise PaletteError(f"node {node} has no palette") from exc
+            if keep_color is None:
+                result[node] = set(colors)
+            else:
+                result[node] = {color for color in colors if keep_color(color)}
+        return PaletteAssignment(result)
+
+    def subset(self, nodes: Iterable[NodeId]) -> "PaletteAssignment":
+        """A new assignment containing only ``nodes`` (palettes unchanged)."""
+        return self.restricted_to(nodes, keep_color=None)
+
+    def remove_colors_used_by_neighbors(
+        self,
+        graph: Graph,
+        coloring: ColoringMap,
+        nodes: Optional[Iterable[NodeId]] = None,
+    ) -> int:
+        """Remove from each node's palette the colors of its colored neighbors.
+
+        This implements the two "Update color palettes of ..." steps of
+        ``ColorReduce`` (and the corresponding step of
+        ``LowSpaceColorReduce``).  Returns the number of palette entries
+        removed, which the space-accounting experiments use.
+        """
+        targets = self._palettes.keys() if nodes is None else nodes
+        removed = 0
+        for node in targets:
+            if node not in self._palettes:
+                raise PaletteError(f"node {node} has no palette")
+            if node not in graph:
+                continue
+            palette = self._palettes[node]
+            for neighbor in graph.neighbors(node):
+                used = coloring.get(neighbor)
+                if used is not None and used in palette:
+                    palette.discard(used)
+                    removed += 1
+        return removed
+
+    def remove_color(self, node: NodeId, color: Color) -> None:
+        """Remove a single color from a node's palette (no-op if absent)."""
+        try:
+            self._palettes[node].discard(color)
+        except KeyError as exc:
+            raise PaletteError(f"node {node} has no palette") from exc
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+    def validate_for_graph(self, graph: Graph, slack: int = 1) -> None:
+        """Check each node has a palette of size at least ``deg(v) + slack``.
+
+        The paper's invariant (Corollary 3.3 (iii)) requires ``d(v) < p(v)``;
+        the default ``slack=1`` checks exactly that.  Raises
+        :class:`PaletteError` on the first violation.
+        """
+        for node in graph.nodes():
+            if node not in self._palettes:
+                raise PaletteError(f"node {node} of the graph has no palette")
+            if len(self._palettes[node]) < graph.degree(node) + slack:
+                raise PaletteError(
+                    f"palette of node {node} has {len(self._palettes[node])} colors "
+                    f"but degree is {graph.degree(node)} (need degree + {slack})"
+                )
+
+    def min_slack(self, graph: Graph) -> int:
+        """The minimum over nodes of ``p(v) - d(v)`` (can be negative)."""
+        slacks = [
+            len(self._palettes[node]) - graph.degree(node)
+            for node in graph.nodes()
+            if node in self._palettes
+        ]
+        if not slacks:
+            return 0
+        return min(slacks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PaletteAssignment(nodes={len(self._palettes)}, "
+            f"entries={self.total_size()})"
+        )

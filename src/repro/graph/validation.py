@@ -1,0 +1,95 @@
+"""Validation of colorings produced by the algorithms.
+
+Every experiment and every test validates its output with these helpers; the
+library never reports success on an improper coloring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ColoringError
+from repro.graph.graph import Graph
+from repro.graph.palettes import PaletteAssignment
+from repro.types import ColoringMap, NodeId
+
+
+def find_coloring_violation(
+    graph: Graph, coloring: ColoringMap
+) -> Optional[Tuple[NodeId, NodeId]]:
+    """Return a monochromatic edge if one exists, otherwise ``None``.
+
+    A node missing from ``coloring`` counts as a violation and is reported as
+    the pseudo-edge ``(node, node)``.
+    """
+    for node in graph.nodes():
+        if node not in coloring:
+            return (node, node)
+    for u, v in graph.edges():
+        if coloring[u] == coloring[v]:
+            return (u, v)
+    return None
+
+
+def is_proper_coloring(graph: Graph, coloring: ColoringMap) -> bool:
+    """Whether ``coloring`` assigns every node a color and no edge is
+    monochromatic."""
+    return find_coloring_violation(graph, coloring) is None
+
+
+def assert_proper_coloring(graph: Graph, coloring: ColoringMap) -> None:
+    """Raise :class:`ColoringError` unless the coloring is proper and total."""
+    violation = find_coloring_violation(graph, coloring)
+    if violation is None:
+        return
+    u, v = violation
+    if u == v:
+        raise ColoringError(f"node {u} is uncolored")
+    raise ColoringError(
+        f"edge ({u}, {v}) is monochromatic: both endpoints have color {coloring[u]}"
+    )
+
+
+def find_palette_violations(
+    palettes: PaletteAssignment, coloring: ColoringMap
+) -> List[NodeId]:
+    """Nodes whose assigned color is not in their palette."""
+    return [
+        node
+        for node, color in coloring.items()
+        if node in palettes and not palettes.contains_color(node, color)
+    ]
+
+
+def is_valid_list_coloring(
+    graph: Graph, palettes: PaletteAssignment, coloring: ColoringMap
+) -> bool:
+    """Whether ``coloring`` is proper *and* respects every node's palette."""
+    if not is_proper_coloring(graph, coloring):
+        return False
+    return not find_palette_violations(palettes, coloring)
+
+
+def assert_valid_list_coloring(
+    graph: Graph, palettes: PaletteAssignment, coloring: ColoringMap
+) -> None:
+    """Raise :class:`ColoringError` unless the list coloring is valid.
+
+    "Valid" means: every node of the graph is colored, no edge is
+    monochromatic, and every node's color comes from its own palette — the
+    definition of (Δ+1)-list / (deg+1)-list coloring in Section 1 of the
+    paper.
+    """
+    assert_proper_coloring(graph, coloring)
+    offenders = find_palette_violations(palettes, coloring)
+    if offenders:
+        node = offenders[0]
+        raise ColoringError(
+            f"node {node} was assigned color {coloring[node]}, "
+            f"which is not in its palette"
+        )
+
+
+def count_colors_used(coloring: ColoringMap) -> int:
+    """Number of distinct colors used by a coloring."""
+    return len(set(coloring.values()))

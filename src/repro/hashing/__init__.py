@@ -1,0 +1,28 @@
+"""Bounded-independence hashing substrate (Section 2.2-2.3 of the paper).
+
+The paper derandomizes its partitioning procedure by (1) showing the
+randomized procedure only needs ``c``-wise independent hash functions, and
+(2) selecting a concrete function from a small family via the method of
+conditional expectations.  This subpackage provides the family construction:
+
+* :mod:`repro.hashing.field` — arithmetic in a prime field,
+* :mod:`repro.hashing.family` — exactly ``k``-wise independent polynomial
+  hash families with explicit ``O(log n)``-bit seeds,
+* :mod:`repro.hashing.seeds` — seed/bit-chunk bookkeeping used by the
+  conditional-expectation search,
+* :mod:`repro.hashing.concentration` — the Bellare–Rompel tail bound
+  (Lemma 2.2) used throughout the analysis.
+"""
+
+from repro.hashing.family import HashFunction, KWiseIndependentFamily
+from repro.hashing.seeds import Seed, enumerate_chunk_values, seed_from_int
+from repro.hashing.concentration import bellare_rompel_tail_bound
+
+__all__ = [
+    "HashFunction",
+    "KWiseIndependentFamily",
+    "Seed",
+    "seed_from_int",
+    "enumerate_chunk_values",
+    "bellare_rompel_tail_bound",
+]

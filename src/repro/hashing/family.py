@@ -1,0 +1,164 @@
+"""Exactly ``k``-wise independent polynomial hash families.
+
+Construction (the standard one behind the paper's Lemma 2.4): pick a prime
+``p`` at least the domain size; a hash function is a uniformly random
+polynomial of degree ``k-1`` over ``F_p``; evaluation at ``x`` is
+``poly(x) mod p``, then mapped onto the desired range ``[L]`` by splitting
+``[p]`` into ``L`` intervals whose sizes differ by at most one (exactly the
+range-reduction the paper describes in Section 2.3).  Over ``F_p`` the
+outputs are *exactly* ``k``-wise independent and uniform; after the range
+reduction they remain exactly ``k``-wise independent but are uniform only up
+to an additive ``O(1/p)`` error, which the paper's analysis absorbs.
+
+A hash function is fully described by its seed: ``k`` coefficients of
+``ceil(log2 p)`` bits each, i.e. ``O(k log n)`` bits.  The seed layout is the
+one the conditional-expectation search in :mod:`repro.derand` fixes chunk by
+chunk.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import HashFamilyError
+from repro.hashing.field import choose_field_prime, evaluate_polynomial
+from repro.hashing.seeds import Seed, seed_from_int
+
+
+@dataclass(frozen=True)
+class HashFunction:
+    """A single member of a :class:`KWiseIndependentFamily`.
+
+    Instances are immutable and cheap to copy between simulated machines
+    (conceptually, only the seed is communicated).
+    """
+
+    coefficients: Sequence[int]
+    prime: int
+    domain_size: int
+    range_size: int
+    seed: Seed
+
+    def __call__(self, x: int) -> int:
+        """Hash ``x`` into ``[range_size]``."""
+        if x < 0 or x >= self.domain_size:
+            raise HashFamilyError(
+                f"input {x} outside the domain [0, {self.domain_size})"
+            )
+        value = evaluate_polynomial(list(self.coefficients), x % self.prime, self.prime)
+        # Interval range-reduction: intervals of [p] of size differing by <= 1.
+        return (value * self.range_size) // self.prime
+
+    def field_value(self, x: int) -> int:
+        """The raw field output before range reduction (exactly uniform)."""
+        return evaluate_polynomial(list(self.coefficients), x % self.prime, self.prime)
+
+    @property
+    def seed_bits(self) -> int:
+        """Length of this function's seed in bits."""
+        return len(self.seed)
+
+
+class KWiseIndependentFamily:
+    """A family ``H = {h : [domain_size] -> [range_size]}`` of ``k``-wise
+    independent hash functions.
+
+    Parameters
+    ----------
+    domain_size:
+        Size of the hash domain (e.g. ``n`` for node hashing, ``n**2`` for
+        color hashing, matching Algorithm 2).
+    range_size:
+        Number of bins.
+    independence:
+        The independence parameter ``k`` (the paper's "sufficiently large
+        constant ``c``").
+    """
+
+    def __init__(self, domain_size: int, range_size: int, independence: int) -> None:
+        if domain_size < 1:
+            raise HashFamilyError("domain_size must be positive")
+        if range_size < 1:
+            raise HashFamilyError("range_size must be positive")
+        if independence < 1:
+            raise HashFamilyError("independence must be positive")
+        self.domain_size = domain_size
+        self.range_size = range_size
+        self.independence = independence
+        self.prime = choose_field_prime(max(domain_size, range_size))
+        self.bits_per_coefficient = self.prime.bit_length()
+
+    # ------------------------------------------------------------------
+    # seeds
+    # ------------------------------------------------------------------
+    @property
+    def seed_length_bits(self) -> int:
+        """Total seed length: ``independence`` coefficients of
+        ``bits_per_coefficient`` bits each."""
+        return self.independence * self.bits_per_coefficient
+
+    @property
+    def family_size(self) -> int:
+        """Number of distinct seeds (``2 ** seed_length_bits``)."""
+        return 1 << self.seed_length_bits
+
+    def _coefficients_from_seed(self, seed: Seed) -> List[int]:
+        if len(seed) != self.seed_length_bits:
+            raise HashFamilyError(
+                f"seed has {len(seed)} bits, expected {self.seed_length_bits}"
+            )
+        coefficients: List[int] = []
+        bits = seed.bits
+        width = self.bits_per_coefficient
+        for i in range(self.independence):
+            chunk = bits[i * width : (i + 1) * width]
+            value = 0
+            for bit in chunk:
+                value = (value << 1) | bit
+            coefficients.append(value % self.prime)
+        return coefficients
+
+    # ------------------------------------------------------------------
+    # function construction
+    # ------------------------------------------------------------------
+    def from_seed(self, seed: Seed) -> HashFunction:
+        """The family member identified by ``seed`` (padded seeds allowed
+        via :meth:`from_partial_seed`)."""
+        return HashFunction(
+            coefficients=tuple(self._coefficients_from_seed(seed)),
+            prime=self.prime,
+            domain_size=self.domain_size,
+            range_size=self.range_size,
+            seed=seed,
+        )
+
+    def from_partial_seed(self, partial: Seed, fill: int = 0) -> HashFunction:
+        """The member whose seed is ``partial`` padded with ``fill`` bits.
+
+        Used by the conditional-expectation search to evaluate candidate
+        prefixes before the whole seed is fixed.
+        """
+        return self.from_seed(partial.padded_to(self.seed_length_bits, fill=fill))
+
+    def from_seed_int(self, value: int) -> HashFunction:
+        """The member whose seed encodes the integer ``value``."""
+        return self.from_seed(seed_from_int(value % self.family_size, self.seed_length_bits))
+
+    def random_function(self, rng: Optional[random.Random] = None) -> HashFunction:
+        """A uniformly random member (for the randomized baselines)."""
+        generator = rng if rng is not None else random.Random()
+        value = generator.getrandbits(self.seed_length_bits)
+        return self.from_seed_int(value)
+
+    def functions_from_seed_ints(self, seed_ints: Sequence[int]) -> Iterator[HashFunction]:
+        """Deterministically enumerate the members for the given seed integers."""
+        for value in seed_ints:
+            yield self.from_seed_int(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KWiseIndependentFamily(domain={self.domain_size}, range={self.range_size}, "
+            f"k={self.independence}, prime={self.prime})"
+        )

@@ -1,0 +1,130 @@
+"""Prime-field arithmetic backing the polynomial hash families.
+
+The classical construction of a ``k``-wise independent hash family (the one
+behind the paper's Lemma 2.4, see Vadhan, *Pseudorandomness*, Cor. 3.34)
+evaluates a uniformly random polynomial of degree ``k-1`` over a prime field
+``F_p`` with ``p`` at least the domain size.  This module provides the field
+selection and evaluation helpers.
+
+We use a fixed list of useful primes (including the Mersenne prime
+``2^61 - 1``) and a deterministic search for the smallest adequate prime so
+that seeds stay as short as possible for small domains (shorter seeds make
+the conditional-expectation search cheaper, matching the paper's
+``O(log n)``-bit seeds).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import HashFamilyError
+
+#: The Mersenne prime 2^61 - 1; large enough for any domain this library uses.
+MERSENNE_61 = (1 << 61) - 1
+
+_SMALL_PRIME_CANDIDATES: List[int] = [
+    2,
+    3,
+    5,
+    7,
+    11,
+    13,
+    17,
+    19,
+    23,
+    29,
+    31,
+    37,
+    41,
+    43,
+    47,
+    53,
+    59,
+    61,
+    67,
+    71,
+    73,
+    79,
+    83,
+    89,
+    97,
+    101,
+    103,
+    107,
+    109,
+    113,
+    127,
+    131,
+]
+
+
+def is_prime(value: int) -> bool:
+    """Deterministic Miller–Rabin primality test (exact for 64-bit inputs).
+
+    The witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is known to
+    be sufficient for all integers below 3.3 * 10^24, far beyond anything
+    this library constructs.
+    """
+    if value < 2:
+        return False
+    for small in _SMALL_PRIME_CANDIDATES:
+        if value == small:
+            return True
+        if value % small == 0:
+            return False
+    d = value - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(witness, d, value)
+        if x == 1 or x == value - 1:
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % value
+            if x == value - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime_at_least(lower_bound: int) -> int:
+    """The smallest prime ``p >= lower_bound``."""
+    if lower_bound <= 2:
+        return 2
+    candidate = lower_bound | 1  # make odd
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def choose_field_prime(domain_size: int) -> int:
+    """Choose the field prime for a hash family with the given domain size.
+
+    The prime must be at least the domain size (so distinct domain elements
+    remain distinct field elements).  For large domains we jump straight to
+    the Mersenne prime, which keeps evaluation fast and seeds a fixed 61 bits
+    per coefficient.
+    """
+    if domain_size < 1:
+        raise HashFamilyError("domain size must be positive")
+    if domain_size > MERSENNE_61:
+        raise HashFamilyError(
+            f"domain size {domain_size} exceeds the supported field size {MERSENNE_61}"
+        )
+    if domain_size > (1 << 32):
+        return MERSENNE_61
+    return next_prime_at_least(max(domain_size, 2))
+
+
+def evaluate_polynomial(coefficients: List[int], x: int, prime: int) -> int:
+    """Evaluate ``sum_i coefficients[i] * x^i  (mod prime)`` by Horner's rule.
+
+    ``coefficients[0]`` is the constant term.
+    """
+    acc = 0
+    for coefficient in reversed(coefficients):
+        acc = (acc * x + coefficient) % prime
+    return acc

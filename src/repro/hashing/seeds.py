@@ -1,0 +1,83 @@
+"""Seed representation and chunked enumeration for derandomization.
+
+The paper (Section 2.4) fixes the ``O(log n)``-bit seed of a hash function in
+chunks of ``δ log n`` bits at a time: for every candidate value of the next
+chunk, machines evaluate conditional expectations, and the best candidate is
+fixed.  This module provides the small amount of bookkeeping that needs:
+
+* :class:`Seed` — an immutable bit string (MSB first) with prefix/extension
+  operations,
+* :func:`enumerate_chunk_values` — all candidate values of the next chunk,
+* :func:`seed_from_int` — build a fixed-width seed from an integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Seed:
+    """An immutable sequence of bits identifying one member of a hash family."""
+
+    bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(bit not in (0, 1) for bit in self.bits):
+            raise ConfigurationError("seed bits must be 0 or 1")
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def to_int(self) -> int:
+        """Interpret the bits (MSB first) as an unsigned integer."""
+        value = 0
+        for bit in self.bits:
+            value = (value << 1) | bit
+        return value
+
+    def extended(self, chunk_value: int, chunk_bits: int) -> "Seed":
+        """A new seed with ``chunk_bits`` additional bits encoding ``chunk_value``."""
+        if chunk_value < 0 or chunk_value >= (1 << chunk_bits):
+            raise ConfigurationError(
+                f"chunk value {chunk_value} does not fit in {chunk_bits} bits"
+            )
+        extra = tuple((chunk_value >> (chunk_bits - 1 - i)) & 1 for i in range(chunk_bits))
+        return Seed(self.bits + extra)
+
+    def padded_to(self, total_bits: int, fill: int = 0) -> "Seed":
+        """The seed extended with ``fill`` bits up to ``total_bits`` length."""
+        if fill not in (0, 1):
+            raise ConfigurationError("fill bit must be 0 or 1")
+        if total_bits < len(self.bits):
+            raise ConfigurationError("cannot pad to fewer bits than already present")
+        return Seed(self.bits + (fill,) * (total_bits - len(self.bits)))
+
+    @staticmethod
+    def empty() -> "Seed":
+        """The empty seed (no bits fixed yet)."""
+        return Seed(())
+
+
+def seed_from_int(value: int, num_bits: int) -> Seed:
+    """A seed of exactly ``num_bits`` bits encoding ``value`` (MSB first)."""
+    if value < 0 or value >= (1 << num_bits):
+        raise ConfigurationError(f"value {value} does not fit in {num_bits} bits")
+    return Seed(tuple((value >> (num_bits - 1 - i)) & 1 for i in range(num_bits)))
+
+
+def enumerate_chunk_values(chunk_bits: int) -> Iterator[int]:
+    """All candidate values for the next seed chunk, in deterministic order."""
+    if chunk_bits < 0:
+        raise ConfigurationError("chunk_bits must be non-negative")
+    return iter(range(1 << chunk_bits))
+
+
+def bits_needed(num_values: int) -> int:
+    """Number of bits needed to index ``num_values`` distinct values."""
+    if num_values <= 0:
+        raise ConfigurationError("num_values must be positive")
+    return max(1, (num_values - 1).bit_length())

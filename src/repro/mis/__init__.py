@@ -1,0 +1,30 @@
+"""Maximal independent set (MIS) substrate.
+
+Theorem 1.4 (low-space MPC) colors its low-degree leftover graph by reducing
+(deg+1)-list coloring to MIS — Luby's classic reduction — and then running a
+deterministic MIS algorithm (the paper uses the algorithm of Czumaj, Davies
+and Parter, SPAA'20, as a black box).  This subpackage provides:
+
+* :mod:`repro.mis.greedy` — sequential greedy MIS (ground truth / baseline),
+* :mod:`repro.mis.luby` — Luby's randomized MIS with phase counting,
+* :mod:`repro.mis.deterministic` — a derandomized Luby MIS: per phase, the
+  random priorities are drawn from a ``k``-wise independent family and the
+  seed is chosen deterministically so at least the expected number of edges
+  is removed, giving ``O(log n)`` phases.  This is the documented substitute
+  for the SPAA'20 black box (see DESIGN.md).
+
+All implementations validate their output (independence and maximality).
+"""
+
+from repro.mis.greedy import greedy_mis
+from repro.mis.luby import luby_mis
+from repro.mis.deterministic import deterministic_mis
+from repro.mis.validation import assert_maximal_independent_set, is_independent_set
+
+__all__ = [
+    "greedy_mis",
+    "luby_mis",
+    "deterministic_mis",
+    "assert_maximal_independent_set",
+    "is_independent_set",
+]

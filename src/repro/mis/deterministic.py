@@ -1,0 +1,133 @@
+"""Derandomized Luby MIS (the substitute for the SPAA'20 black box).
+
+Theorem 1.4 uses the deterministic low-space MPC MIS algorithm of Czumaj,
+Davies and Parter (SPAA'20) as a black box with round envelope
+``O(log Δ + log log n)``.  Re-implementing that algorithm in full is outside
+the scope of this reproduction (it is its own paper); instead we provide a
+deterministic MIS with the same interface and a measured ``O(log n)``-phase
+envelope, via the classic derandomization of Luby's algorithm:
+
+* per phase, node priorities are drawn from a ``k``-wise independent hash
+  family (so a single ``O(log n)``-bit seed determines the whole phase);
+* the standard analysis shows that with pairwise-independent priorities the
+  expected number of edges removed in a phase is at least a constant
+  fraction of the surviving edges;
+* the seed is therefore chosen deterministically (batched feasibility scan,
+  the same machinery as :mod:`repro.derand`) so the realised number of
+  removed edges is at least a fixed fraction, giving ``O(log m)`` phases.
+
+DESIGN.md records this substitution; the low-space coloring experiments
+report the measured phase counts of this component separately so the
+substitution's effect on the end-to-end round count is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.errors import DerandomizationError
+from repro.graph.graph import Graph
+from repro.hashing.family import HashFunction, KWiseIndependentFamily
+from repro.mis.luby import MISResult
+from repro.types import NodeId
+
+#: Fraction of surviving edges a phase must remove for its seed to be
+#: accepted.  Luby's analysis guarantees an expected fraction of at least
+#: 1/2 under full independence and a constant fraction under pairwise
+#: independence; 1/8 is a deliberately conservative, always-achievable
+#: target that keeps the seed scan short.
+_REQUIRED_EDGE_FRACTION = 0.125
+
+#: Candidate seeds examined per phase before declaring failure.
+_MAX_SEEDS_PER_PHASE = 512
+
+
+def _phase_outcome(
+    alive: Set[NodeId],
+    neighbors: Dict[NodeId, Set[NodeId]],
+    priority_of: HashFunction,
+) -> tuple[Set[NodeId], Set[NodeId], int]:
+    """Winners, removed nodes and removed-edge count for one candidate seed."""
+    priorities = {node: (priority_of.field_value(node), node) for node in alive}
+    winners: Set[NodeId] = set()
+    for node in alive:
+        node_priority = priorities[node]
+        is_local_min = True
+        for neighbor in neighbors[node]:
+            if neighbor in alive and priorities[neighbor] < node_priority:
+                is_local_min = False
+                break
+        if is_local_min:
+            winners.add(node)
+    removed = set(winners)
+    for winner in winners:
+        removed.update(neighbor for neighbor in neighbors[winner] if neighbor in alive)
+    removed_edges = 0
+    for node in removed:
+        for neighbor in neighbors[node]:
+            if neighbor in alive and (neighbor not in removed or neighbor > node):
+                removed_edges += 1
+    return winners, removed, removed_edges
+
+
+def deterministic_mis(
+    graph: Graph,
+    independence: int = 4,
+    max_phases: Optional[int] = None,
+) -> MISResult:
+    """Deterministic MIS via derandomized Luby phases.
+
+    Raises :class:`repro.errors.DerandomizationError` if some phase cannot
+    find a seed removing the required edge fraction within the scan budget
+    (which the analysis rules out; surfacing it loudly is preferable to
+    silently looping).
+    """
+    alive: Set[NodeId] = set(graph.nodes())
+    neighbors: Dict[NodeId, Set[NodeId]] = {node: graph.neighbors(node) for node in alive}
+    chosen: Set[NodeId] = set()
+    if max_phases is None:
+        max_phases = 8 * max(1, graph.num_nodes.bit_length()) + 8
+    domain = max(graph.nodes(), default=0) + 1
+    phases = 0
+
+    def surviving_edges() -> int:
+        return sum(
+            1
+            for node in alive
+            for neighbor in neighbors[node]
+            if neighbor in alive and neighbor > node
+        )
+
+    edges_left = surviving_edges()
+    while alive and phases < max_phases:
+        if edges_left == 0:
+            # No edges left: every surviving node is isolated and joins.
+            chosen.update(alive)
+            alive.clear()
+            break
+        phases += 1
+        family = KWiseIndependentFamily(
+            domain_size=domain, range_size=max(domain, 2), independence=independence
+        )
+        accepted = False
+        for seed_int in range(_MAX_SEEDS_PER_PHASE):
+            priority_of = family.from_seed_int(seed_int + phases * _MAX_SEEDS_PER_PHASE)
+            winners, removed, removed_edges = _phase_outcome(alive, neighbors, priority_of)
+            if removed_edges >= _REQUIRED_EDGE_FRACTION * edges_left or not winners:
+                if not winners:
+                    continue
+                chosen.update(winners)
+                alive.difference_update(removed)
+                edges_left -= removed_edges
+                accepted = True
+                break
+        if not accepted:
+            raise DerandomizationError(
+                f"phase {phases}: no seed among {_MAX_SEEDS_PER_PHASE} removed "
+                f"{_REQUIRED_EDGE_FRACTION:.0%} of the {edges_left} surviving edges"
+            )
+    for node in sorted(alive):
+        if not any(neighbor in chosen for neighbor in neighbors[node]):
+            chosen.add(node)
+    return MISResult(independent_set=chosen, phases=phases)

@@ -1,0 +1,25 @@
+"""Sequential greedy MIS (baseline and local solver)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.graph.graph import Graph
+from repro.types import NodeId
+
+
+def greedy_mis(graph: Graph, order: Optional[Iterable[NodeId]] = None) -> Set[NodeId]:
+    """The maximal independent set produced by greedily scanning ``order``.
+
+    The default order is ascending node id, which makes the output
+    deterministic and reproducible.  Runs in ``O(n + m)`` time.
+    """
+    scan: List[NodeId] = list(order) if order is not None else sorted(graph.nodes())
+    chosen: Set[NodeId] = set()
+    blocked: Set[NodeId] = set()
+    for node in scan:
+        if node in blocked or node in chosen:
+            continue
+        chosen.add(node)
+        blocked.update(graph.neighbors(node))
+    return chosen

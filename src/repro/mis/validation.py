@@ -1,0 +1,47 @@
+"""Validation helpers for maximal independent sets."""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+from repro.types import NodeId
+
+
+def is_independent_set(graph: Graph, nodes: Iterable[NodeId]) -> bool:
+    """Whether no two nodes of ``nodes`` are adjacent in ``graph``."""
+    chosen: Set[NodeId] = set(nodes)
+    for node in chosen:
+        if any(neighbor in chosen for neighbor in graph.neighbors(node)):
+            return False
+    return True
+
+
+def is_maximal_independent_set(graph: Graph, nodes: Iterable[NodeId]) -> bool:
+    """Whether ``nodes`` is independent and no node can be added to it."""
+    chosen: Set[NodeId] = set(nodes)
+    if not is_independent_set(graph, chosen):
+        return False
+    for node in graph.nodes():
+        if node in chosen:
+            continue
+        if not any(neighbor in chosen for neighbor in graph.neighbors(node)):
+            return False
+    return True
+
+
+def assert_maximal_independent_set(graph: Graph, nodes: Iterable[NodeId]) -> None:
+    """Raise :class:`ReproError` unless ``nodes`` is a maximal independent set."""
+    chosen: Set[NodeId] = set(nodes)
+    for node in chosen:
+        for neighbor in graph.neighbors(node):
+            if neighbor in chosen:
+                raise ReproError(
+                    f"nodes {node} and {neighbor} are adjacent but both in the set"
+                )
+    for node in graph.nodes():
+        if node in chosen:
+            continue
+        if not any(neighbor in chosen for neighbor in graph.neighbors(node)):
+            raise ReproError(f"node {node} could be added: the set is not maximal")

@@ -1,0 +1,26 @@
+"""Massively Parallel Computation (MPC) model substrate.
+
+The MPC model (Section 1.1 of the paper): ``M`` machines with ``s`` words of
+local space each; the input is distributed arbitrarily; computation proceeds
+in synchronous rounds; per round, the information sent and received by a
+machine must fit in its local space.  The paper works in two regimes:
+linear space (``s = Θ(n)``, equivalent to CONGESTED CLIQUE) and low space
+(``s = Θ(n^ε)``).
+
+As with the congested-clique substrate, the simulator meters and enforces the
+model budgets (rounds, local space, total space) rather than shipping bytes
+between processes; every claim of Theorems 1.2–1.4 is about exactly these
+quantities.
+"""
+
+from repro.mpc.machine import Machine
+from repro.mpc.model import MPCSimulator
+from repro.mpc.regimes import MPCRegime, linear_space_regime, low_space_regime
+
+__all__ = [
+    "Machine",
+    "MPCSimulator",
+    "MPCRegime",
+    "linear_space_regime",
+    "low_space_regime",
+]

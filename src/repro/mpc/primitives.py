@@ -1,0 +1,92 @@
+"""Constant-round MPC communication primitives (Lemma 2.1 of the paper).
+
+Goodrich, Sitchinava and Zhang (ISAAC'11) showed that sorting and prefix sums
+of ``n`` items can be done deterministically in ``O(1)`` MapReduce — hence
+MPC — rounds with ``n^δ`` space per machine.  The paper uses these as its
+only communication primitives (Section 2.1): sorting edges to make
+neighborhoods contiguous, prefix sums to aggregate cost functions for the
+method of conditional expectations, and so on.
+
+Each helper here validates that the declared data volume fits the regime and
+returns the constant number of rounds to charge.  The actual data movement is
+performed by the calling algorithm in plain Python; the primitive is the
+accounting and budget check.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError, SpaceLimitExceededError
+from repro.mpc.regimes import MPCRegime
+
+#: Rounds charged for one deterministic MPC sort (Lemma 2.1 gives O(1)).
+SORT_ROUNDS = 3
+#: Rounds charged for one prefix-sum / aggregation pass.
+PREFIX_SUM_ROUNDS = 2
+#: Rounds charged for broadcasting O(1) words to all machines.
+BROADCAST_ROUNDS = 1
+
+
+def validate_total_volume(regime: MPCRegime, total_words: int, operation: str) -> None:
+    """Check that an operation's total data volume fits the global space."""
+    if total_words < 0:
+        raise ConfigurationError("total_words must be non-negative")
+    if total_words > regime.total_space_words:
+        raise SpaceLimitExceededError(
+            f"{operation} over {total_words} words exceeds the regime's total "
+            f"space of {regime.total_space_words} words"
+        )
+
+
+def sort_rounds(regime: MPCRegime, total_items: int) -> int:
+    """Rounds for deterministically sorting ``total_items`` records.
+
+    Lemma 2.1: ``O(1)`` rounds provided per-machine space is ``n^δ`` for a
+    positive constant δ, i.e. provided the items actually fit in total space.
+    """
+    validate_total_volume(regime, total_items, "sort")
+    return SORT_ROUNDS
+
+
+def prefix_sum_rounds(regime: MPCRegime, total_items: int) -> int:
+    """Rounds for a deterministic prefix-sum over ``total_items`` values."""
+    validate_total_volume(regime, total_items, "prefix sum")
+    return PREFIX_SUM_ROUNDS
+
+
+def aggregate_rounds(regime: MPCRegime, total_items: int) -> int:
+    """Rounds for a global sum/min/max over ``total_items`` values.
+
+    An aggregate is a prefix sum followed by reading the last entry.
+    """
+    validate_total_volume(regime, total_items, "aggregate")
+    return PREFIX_SUM_ROUNDS
+
+
+def broadcast_rounds(regime: MPCRegime, words: int) -> int:
+    """Rounds for broadcasting ``words`` words to every machine.
+
+    The broadcast value must fit in a single machine's local space (every
+    machine must be able to hold it).
+    """
+    if words < 0:
+        raise ConfigurationError("words must be non-negative")
+    if words > regime.local_space_words:
+        raise SpaceLimitExceededError(
+            f"broadcasting {words} words exceeds the local space of "
+            f"{regime.local_space_words} words"
+        )
+    return BROADCAST_ROUNDS
+
+
+def concurrent_group_count(regime: MPCRegime, words_per_group: int) -> int:
+    """How many independent sort/prefix-sum groups fit in total space at once.
+
+    Section 2.1 notes that by choosing δ smaller than ε we can run ``n^Ω(1)``
+    simultaneous sorting or prefix-sum procedures; concretely, groups are
+    limited only by total space.
+    """
+    if words_per_group < 1:
+        raise ConfigurationError("words_per_group must be positive")
+    return max(1, math.floor(regime.total_space_words / words_per_group))

@@ -1,0 +1,103 @@
+"""MPC space regimes (linear-space and low-space).
+
+The paper proves three MPC results, each in a specific space regime:
+
+* Theorem 1.2 — ``O(n)`` local space, ``O(nΔ)`` total space
+  ((Δ+1)-list coloring; total space matches the input size).
+* Theorem 1.3 — ``O(n)`` local space, ``O(m+n)`` total space
+  ((Δ+1)-coloring with implicitly stored palettes).
+* Theorem 1.4 — ``O(n^ε)`` local space, ``O(m + n^{1+ε})`` total space
+  ((deg+1)-list coloring via the MIS reduction).
+
+:class:`MPCRegime` captures the concrete word budgets for a given instance,
+and the factory functions build the regimes for each theorem.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MPCRegime:
+    """Concrete space budgets for one MPC execution.
+
+    Attributes
+    ----------
+    name:
+        Human-readable regime name used in reports.
+    local_space_words:
+        The per-machine budget ``s`` in machine words.
+    total_space_words:
+        The global budget ``M * s`` in machine words.
+    """
+
+    name: str
+    local_space_words: int
+    total_space_words: int
+
+    def __post_init__(self) -> None:
+        if self.local_space_words < 1:
+            raise ConfigurationError("local_space_words must be positive")
+        if self.total_space_words < self.local_space_words:
+            raise ConfigurationError("total space cannot be smaller than local space")
+
+    @property
+    def num_machines(self) -> int:
+        """The implied number of machines ``M = ceil(total / local)``."""
+        return max(1, math.ceil(self.total_space_words / self.local_space_words))
+
+
+def linear_space_regime(
+    num_nodes: int,
+    max_degree: int,
+    *,
+    list_coloring: bool = True,
+    num_edges: int | None = None,
+    local_factor: float = 16.0,
+    total_factor: float = 4.0,
+) -> MPCRegime:
+    """The linear-space regime of Theorems 1.2 and 1.3.
+
+    With ``list_coloring=True`` the total space is ``O(nΔ)`` (the input size
+    of a list-coloring instance, Theorem 1.2); with ``list_coloring=False``
+    the total space is ``O(m + n)`` (Theorem 1.3) and ``num_edges`` must be
+    supplied.
+    """
+    if num_nodes < 1:
+        raise ConfigurationError("num_nodes must be positive")
+    local = int(local_factor * num_nodes) + 1
+    if list_coloring:
+        total = int(total_factor * num_nodes * max(max_degree, 1)) + local
+        name = "linear-space (O(n) local, O(nD) total)"
+    else:
+        if num_edges is None:
+            raise ConfigurationError("num_edges is required for the O(m+n) regime")
+        total = int(total_factor * (num_edges + num_nodes)) + local
+        name = "linear-space (O(n) local, O(m+n) total)"
+    return MPCRegime(name=name, local_space_words=local, total_space_words=total)
+
+
+def low_space_regime(
+    num_nodes: int,
+    num_edges: int,
+    epsilon: float,
+    *,
+    local_factor: float = 8.0,
+    total_factor: float = 8.0,
+) -> MPCRegime:
+    """The low-space regime of Theorem 1.4: ``O(n^ε)`` local, ``O(m + n^{1+ε})`` total."""
+    if num_nodes < 1:
+        raise ConfigurationError("num_nodes must be positive")
+    if not 0.0 < epsilon <= 1.0:
+        raise ConfigurationError("epsilon must be in (0, 1]")
+    local = int(local_factor * math.pow(num_nodes, epsilon)) + 1
+    total = int(total_factor * (num_edges + math.pow(num_nodes, 1.0 + epsilon))) + local
+    return MPCRegime(
+        name=f"low-space (O(n^{epsilon:g}) local, O(m + n^(1+{epsilon:g})) total)",
+        local_space_words=local,
+        total_space_words=total,
+    )

@@ -1,0 +1,45 @@
+"""Shared type aliases used across the reproduction library.
+
+The paper works with three kinds of identifiers:
+
+* node identifiers, drawn from ``[n]`` (we use 0-based integers),
+* colors, drawn from a universe of size up to ``n^2`` for list coloring
+  (Section 3, discussion below Algorithm 2),
+* machine identifiers in the MPC model.
+
+Keeping the aliases in one module lets the rest of the code annotate
+signatures precisely without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Tuple
+
+#: Identifier of a node of the input graph (0-based).
+NodeId = int
+
+#: A color.  Colors are arbitrary non-negative integers; for plain
+#: ``(Delta+1)``-coloring they are ``0..Delta``, for list coloring they may
+#: come from a universe of size up to ``n**2``.
+Color = int
+
+#: Identifier of an MPC machine / congested-clique node acting as a machine.
+MachineId = int
+
+#: An undirected edge, stored with ``u < v``.
+Edge = Tuple[NodeId, NodeId]
+
+#: A bin index produced by the partitioning hash functions.
+BinIndex = int
+
+#: Mapping from node to chosen color (a partial or complete coloring).
+ColoringMap = Mapping[NodeId, Color]
+
+#: A palette: the set of colors a node is allowed to use.
+PaletteView = Iterable[Color]
+
+#: Seed bits for a hash function, as a tuple of 0/1 ints (MSB first).
+SeedBits = Tuple[int, ...]
+
+#: A sequence of per-node degrees indexed by node id.
+DegreeSequence = Sequence[int]

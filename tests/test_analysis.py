@@ -1,0 +1,74 @@
+"""Tests for the analysis utilities (metrics, reporting, prior-work table)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import collect_metrics
+from repro.analysis.reporting import Table, format_table
+from repro.analysis.theory import evaluate_round_bound, prior_work_round_bounds
+from repro.core import ColorReduce
+from repro.graph import generators
+
+
+class TestMetrics:
+    def test_collect_metrics_from_run(self, dense_random):
+        result = ColorReduce().run(dense_random)
+        metrics = collect_metrics(dense_random, result)
+        assert metrics.num_nodes == dense_random.num_nodes
+        assert metrics.rounds == result.rounds
+        assert metrics.colors_used <= dense_random.max_degree() + 1
+        assert metrics.recursion_depth == result.max_recursion_depth
+
+    def test_as_row_contains_key_columns(self, dense_random):
+        result = ColorReduce().run(dense_random)
+        row = collect_metrics(dense_random, result).as_row()
+        for column in ("algorithm", "n", "Delta", "rounds", "colors"):
+            assert column in row
+
+
+class TestReporting:
+    def test_format_table_round_trip(self):
+        table = Table(title="demo", columns=("a", "b"))
+        table.add_row(1, 2.5)
+        table.add_row("x", 0.0001)
+        table.add_note("a note")
+        text = format_table(table)
+        assert "demo" in text
+        assert "a note" in text
+        assert "0.0001" in text or "1e-04" in text
+        assert text == table.render()
+
+    def test_add_dict_row_uses_columns(self):
+        table = Table(title="t", columns=("x", "y"))
+        table.add_dict_row({"x": 1, "z": 9})
+        assert table.rows[0] == (1, "-")
+
+    def test_wrong_arity_rejected(self):
+        table = Table(title="t", columns=("x", "y"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+
+class TestPriorWork:
+    def test_table_contains_this_paper_and_prior_work(self):
+        rows = prior_work_round_bounds()
+        references = [row.reference for row in rows]
+        assert any("This paper" in ref for ref in references)
+        assert any("Parter" in ref for ref in references)
+        deterministic_o1 = [
+            row for row in rows if row.deterministic and row.round_bound == "O(1)"
+        ]
+        assert deterministic_o1, "the paper's own bound must be present"
+
+    def test_evaluate_round_bound_values(self):
+        assert evaluate_round_bound("O(1)", delta=1000, n=10**6) == 1.0
+        assert evaluate_round_bound("O(log Δ)", delta=1024, n=10**6) == pytest.approx(10.0)
+        assert evaluate_round_bound("O(log Δ + log log n)", delta=1024, n=2**16) > 10.0
+        assert math.isnan(evaluate_round_bound("O(mystery)", delta=10, n=10))
+
+    def test_log_star_small(self):
+        assert evaluate_round_bound("O(log* Δ)", delta=2, n=100) <= 2.0
+        assert evaluate_round_bound("O(log* Δ)", delta=2**16, n=100) <= 5.0

@@ -1,0 +1,222 @@
+"""Unit tests for good/bad classification (Def. 3.1) and Partition (Alg. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classification import (
+    classify_partition,
+    color_bin_map,
+    partition_cost_function,
+)
+from repro.core.params import ColorReduceParameters
+from repro.core.partition import Partition
+from repro.derand.conditional_expectation import SelectionStrategy
+from repro.graph import Graph, PaletteAssignment
+from repro.graph import generators
+
+
+@pytest.fixture
+def instance():
+    graph = generators.erdos_renyi(120, 0.3, seed=2)
+    palettes = PaletteAssignment.delta_plus_one(graph)
+    return graph, palettes
+
+
+def make_pair(graph, palettes, params, ell):
+    partition = Partition(params)
+    family1, family2 = partition.build_families(graph, palettes, ell, graph.num_nodes)
+    return family1.from_seed_int(11), family2.from_seed_int(13)
+
+
+class TestClassification:
+    def test_every_node_is_classified(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        ell = float(graph.max_degree())
+        h1, h2 = make_pair(graph, palettes, params, ell)
+        result = classify_partition(graph, palettes, h1, h2, params, ell, graph.num_nodes)
+        assert set(result.nodes) == set(graph.nodes())
+        assert set(result.bin_of_node) == set(graph.nodes())
+        assert sum(result.bin_sizes.values()) == graph.num_nodes
+
+    def test_bins_within_range(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters.scaled(num_bins=5)
+        ell = float(graph.max_degree())
+        h1, h2 = make_pair(graph, palettes, params, ell)
+        result = classify_partition(graph, palettes, h1, h2, params, ell, graph.num_nodes)
+        expected_bins = params.num_bins(ell)
+        assert 2 <= expected_bins <= 5
+        assert result.num_bins == expected_bins
+        assert all(0 <= b < expected_bins for b in result.bin_of_node.values())
+
+    def test_last_bin_nodes_have_no_palette_condition(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        ell = float(graph.max_degree())
+        h1, h2 = make_pair(graph, palettes, params, ell)
+        result = classify_partition(graph, palettes, h1, h2, params, ell, graph.num_nodes)
+        last_bin = result.num_bins - 1
+        for node, info in result.nodes.items():
+            if info.bin_index == last_bin:
+                assert info.in_bin_palette_size is None
+
+    def test_in_bin_degree_consistent_with_graph(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        ell = float(graph.max_degree())
+        h1, h2 = make_pair(graph, palettes, params, ell)
+        result = classify_partition(graph, palettes, h1, h2, params, ell, graph.num_nodes)
+        for node, info in result.nodes.items():
+            expected = sum(
+                1
+                for neighbor in graph.neighbors(node)
+                if result.bin_of_node[neighbor] == info.bin_index
+            )
+            assert info.in_bin_degree == expected
+
+    def test_cost_formula(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        ell = float(graph.max_degree())
+        h1, h2 = make_pair(graph, palettes, params, ell)
+        result = classify_partition(graph, palettes, h1, h2, params, ell, graph.num_nodes)
+        assert result.cost(graph.num_nodes) == pytest.approx(
+            result.num_bad_nodes + graph.num_nodes * result.num_bad_bins
+        )
+
+    def test_cost_function_matches_classification(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        ell = float(graph.max_degree())
+        cost = partition_cost_function(graph, palettes, params, ell, graph.num_nodes)
+        h1, h2 = make_pair(graph, palettes, params, ell)
+        classification = classify_partition(
+            graph, palettes, h1, h2, params, ell, graph.num_nodes
+        )
+        assert cost(h1, h2) == classification.cost(graph.num_nodes)
+
+    def test_color_bin_map_covers_universe(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        ell = float(graph.max_degree())
+        _, h2 = make_pair(graph, palettes, params, ell)
+        mapping = color_bin_map(palettes, h2, 3)
+        assert set(mapping) == palettes.color_universe()
+        assert all(0 <= b < 3 for b in mapping.values())
+
+    def test_good_nodes_in_bin(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters.scaled(num_bins=4)
+        ell = float(graph.max_degree())
+        h1, h2 = make_pair(graph, palettes, params, ell)
+        result = classify_partition(graph, palettes, h1, h2, params, ell, graph.num_nodes)
+        for bin_index in range(result.num_bins):
+            members = result.good_nodes_in_bin(bin_index)
+            assert all(result.bin_of_node[node] == bin_index for node in members)
+            assert not any(node in result.bad_nodes for node in members)
+
+
+class TestPartition:
+    def test_partition_covers_all_nodes_exactly_once(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters.scaled(num_bins=4)
+        result = Partition(params).run(
+            graph, palettes, float(graph.max_degree()), graph.num_nodes
+        )
+        seen = set(result.bad_graph.nodes())
+        for bin_instance in result.color_bins:
+            for node in bin_instance.graph.nodes():
+                assert node not in seen
+                seen.add(node)
+        for node in result.leftover.graph.nodes():
+            assert node not in seen
+            seen.add(node)
+        assert seen == set(graph.nodes())
+
+    def test_color_bins_have_disjoint_palettes(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters.scaled(num_bins=4)
+        result = Partition(params).run(
+            graph, palettes, float(graph.max_degree()), graph.num_nodes
+        )
+        universes = []
+        for bin_instance in result.color_bins:
+            universe = bin_instance.palettes.color_universe()
+            for other in universes:
+                assert not universe.intersection(other)
+            universes.append(universe)
+
+    def test_leftover_keeps_full_palettes(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters.scaled(num_bins=4)
+        result = Partition(params).run(
+            graph, palettes, float(graph.max_degree()), graph.num_nodes
+        )
+        for node in result.leftover.graph.nodes():
+            assert result.leftover.palettes.palette(node) == palettes.palette(node)
+
+    def test_selection_meets_lemma_3_9_bound(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        ell = float(graph.max_degree())
+        result = Partition(params).run(graph, palettes, ell, graph.num_nodes)
+        assert result.selection.cost <= params.cost_target(ell, graph.num_nodes)
+        assert result.num_bad_bins == 0
+
+    def test_partition_deterministic(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        ell = float(graph.max_degree())
+        a = Partition(params).run(graph, palettes, ell, graph.num_nodes)
+        b = Partition(params).run(graph, palettes, ell, graph.num_nodes)
+        assert a.h1.seed == b.h1.seed
+        assert a.h2.seed == b.h2.seed
+        assert sorted(a.bad_graph.nodes()) == sorted(b.bad_graph.nodes())
+
+    def test_salt_changes_chosen_pair(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        ell = float(graph.max_degree())
+        a = Partition(params).run(graph, palettes, ell, graph.num_nodes, salt=0)
+        b = Partition(params).run(graph, palettes, ell, graph.num_nodes, salt=1)
+        assert a.h1.seed != b.h1.seed
+
+    def test_random_strategy_still_partitions(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        result = Partition(params).run(
+            graph,
+            palettes,
+            float(graph.max_degree()),
+            graph.num_nodes,
+            strategy=SelectionStrategy.RANDOM,
+        )
+        total = (
+            result.bad_graph.num_nodes
+            + sum(b.graph.num_nodes for b in result.color_bins)
+            + result.leftover.graph.num_nodes
+        )
+        assert total == graph.num_nodes
+
+    def test_hash_domains_cover_colors(self, instance):
+        graph, palettes = instance
+        params = ColorReduceParameters()
+        family1, family2 = Partition(params).build_families(
+            graph, palettes, float(graph.max_degree()), graph.num_nodes
+        )
+        assert family1.domain_size >= graph.num_nodes
+        assert family2.domain_size >= max(palettes.color_universe()) + 1
+        assert family2.domain_size >= graph.num_nodes**2
+
+    def test_enforced_palette_surplus_in_color_bins(self, instance):
+        """Every color-bin node keeps strictly more colors than in-bin neighbors."""
+        graph, palettes = instance
+        params = ColorReduceParameters.scaled(num_bins=4)
+        result = Partition(params).run(
+            graph, palettes, float(graph.max_degree()), graph.num_nodes
+        )
+        for bin_instance in result.color_bins:
+            for node in bin_instance.graph.nodes():
+                assert bin_instance.palettes.palette_size(node) > bin_instance.graph.degree(node)

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "E1" in output and "E9" in output
+
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        output = capsys.readouterr().out
+        assert "dense-random-lists" in output
+
+    def test_color_congested_clique(self, capsys):
+        assert main(["color", "--workload", "dense-random-lists", "--nodes", "120"]) == 0
+        output = capsys.readouterr().out
+        assert "ColorReduce" in output
+        assert "rounds=" in output
+
+    def test_color_low_space(self, capsys):
+        assert (
+            main(
+                [
+                    "color",
+                    "--workload",
+                    "social-power-law",
+                    "--nodes",
+                    "150",
+                    "--algorithm",
+                    "low-space",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "LowSpaceColorReduce" in output
+
+    def test_experiment_runner(self, capsys):
+        assert main(["experiment", "e9", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "Lemma" in output
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

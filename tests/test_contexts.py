@@ -1,0 +1,102 @@
+"""Unit tests for the execution contexts binding ColorReduce to the models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congested_clique import CongestedCliqueSimulator
+from repro.core.context import (
+    CongestedCliqueContext,
+    LinearSpaceMPCContext,
+    context_for_model,
+)
+from repro.errors import BandwidthExceededError, ConfigurationError, SpaceLimitExceededError
+from repro.mpc import MPCSimulator, linear_space_regime
+
+
+@pytest.fixture
+def clique_context():
+    return CongestedCliqueContext(CongestedCliqueSimulator(50, capacity_factor=2.0))
+
+
+@pytest.fixture
+def mpc_context():
+    return LinearSpaceMPCContext(MPCSimulator(linear_space_regime(num_nodes=50, max_degree=8)))
+
+
+class TestCongestedCliqueContext:
+    def test_model_name_and_capacity(self, clique_context):
+        assert clique_context.model_name == "congested-clique"
+        assert clique_context.local_instance_capacity_words() == 100
+
+    def test_collect_charges_rounds_and_enforces_capacity(self, clique_context):
+        rounds = clique_context.record_collect(80, label="collect")
+        assert rounds > 0
+        with pytest.raises(BandwidthExceededError):
+            clique_context.record_collect(101, label="collect")
+
+    def test_partition_shuffle_and_palette_update_charge(self, clique_context):
+        before = clique_context.ledger.rounds
+        clique_context.record_partition_shuffle(500, label="shuffle")
+        clique_context.record_palette_update(20, label="update")
+        clique_context.record_seed_broadcast(2, label="seed")
+        assert clique_context.ledger.rounds > before
+
+    def test_selection_callback_charges(self, clique_context):
+        callback = clique_context.selection_charge_callback("hash-selection")
+        callback("ignored", 4)
+        assert clique_context.ledger.phase("hash-selection").rounds == 4
+
+    def test_record_space_is_noop(self, clique_context):
+        assert clique_context.record_space(10**9) is None
+
+
+class TestLinearSpaceMPCContext:
+    def test_model_name_and_capacity(self, mpc_context):
+        assert mpc_context.model_name == "linear-space-mpc"
+        assert (
+            mpc_context.local_instance_capacity_words()
+            == mpc_context.simulator.regime.local_space_words
+        )
+
+    def test_collect_enforces_local_space(self, mpc_context):
+        limit = mpc_context.simulator.regime.local_space_words
+        mpc_context.record_collect(limit, label="collect")
+        with pytest.raises(SpaceLimitExceededError):
+            mpc_context.record_collect(limit + 1, label="collect")
+
+    def test_space_recording_tracks_peaks(self, mpc_context):
+        mpc_context.record_space(1000, max_local_words=40)
+        assert mpc_context.simulator.peak_total_words >= 1000
+        assert mpc_context.simulator.peak_local_words >= 40
+
+    def test_shuffle_uses_sort_rounds(self, mpc_context):
+        rounds = mpc_context.record_partition_shuffle(200, label="shuffle")
+        assert rounds >= 1
+        assert mpc_context.ledger.phase("shuffle").rounds == rounds
+
+    def test_selection_callback_charges(self, mpc_context):
+        callback = mpc_context.selection_charge_callback("hash-selection")
+        callback("ignored", 2)
+        assert mpc_context.ledger.phase("hash-selection").rounds == 2
+
+
+class TestContextFactory:
+    def test_factory_builds_each_model(self):
+        clique = context_for_model(
+            "congested-clique", congested_clique=CongestedCliqueSimulator(10)
+        )
+        assert isinstance(clique, CongestedCliqueContext)
+        mpc = context_for_model(
+            "linear-space-mpc",
+            mpc=MPCSimulator(linear_space_regime(num_nodes=10, max_degree=3)),
+        )
+        assert isinstance(mpc, LinearSpaceMPCContext)
+
+    def test_factory_requires_matching_simulator(self):
+        with pytest.raises(ConfigurationError):
+            context_for_model("congested-clique")
+        with pytest.raises(ConfigurationError):
+            context_for_model("linear-space-mpc")
+        with pytest.raises(ConfigurationError):
+            context_for_model("unknown-model")

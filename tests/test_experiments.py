@@ -1,0 +1,102 @@
+"""Tests for the experiment harness (registry + smoke-scale runs).
+
+Each experiment is run at the ``smoke`` scale (seconds, not minutes) and its
+headline claim — the "shape" statement from DESIGN.md — is asserted.  The
+benchmarks run the same code at larger scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    get_experiment,
+    list_experiments,
+    run_e1_constant_rounds,
+    run_e2_recursion_depth,
+    run_e3_bad_nodes,
+    run_e4_baseline_rounds,
+    run_e5_low_space,
+    run_e6_space_accounting,
+    run_e7_derandomization,
+    run_e8_invariants,
+    run_e9_hash_family,
+)
+from repro.experiments.configs import SCALES, scaled_params_for
+
+
+class TestRegistry:
+    def test_all_nine_experiments_registered(self):
+        specs = list_experiments()
+        assert [spec.experiment_id for spec in specs] == [f"E{i}" for i in range(1, 10)]
+
+    def test_every_spec_has_claim_reference_and_bench(self):
+        for spec in list_experiments():
+            assert spec.claim
+            assert spec.paper_reference
+            assert spec.bench_target.startswith("benchmarks/bench_")
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e3").experiment_id == "E3"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("E42")
+
+    def test_scales_defined(self):
+        assert set(SCALES) == {"smoke", "default", "full"}
+
+    def test_scaled_params_for_grows_with_delta(self):
+        assert scaled_params_for(8).num_bins(8) == 2
+        assert scaled_params_for(1000).num_bins_override >= 10
+
+
+class TestExperimentRuns:
+    def test_e1_constant_rounds(self):
+        result = run_e1_constant_rounds("smoke")
+        assert result.headline["max_depth"] <= 9
+        assert result.tables[0].rows
+
+    def test_e2_recursion_depth(self):
+        result = run_e2_recursion_depth("smoke")
+        assert result.headline["max_depth"] <= 9
+        # Closed-form table has rows for depths 0..9.
+        assert len(result.tables[0].rows) == 10
+
+    def test_e3_bad_nodes(self):
+        result = run_e3_bad_nodes("smoke")
+        assert result.headline["max_deterministic_bad_bins"] == 0
+        assert result.headline["max_g0_over_n"] <= 4.0
+
+    def test_e4_baseline_rounds(self):
+        result = run_e4_baseline_rounds("smoke")
+        assert result.headline["max_depth"] <= 9
+        # Two tables: the analytic prior-work comparison and the measurements.
+        assert len(result.tables) == 2
+
+    def test_e5_low_space(self):
+        result = run_e5_low_space("smoke")
+        assert result.headline["min_rounds_over_reference"] > 0
+
+    def test_e6_space_accounting(self):
+        result = run_e6_space_accounting("smoke")
+        assert result.headline["worst_local_utilisation"] <= 1.0
+
+    def test_e7_derandomization(self):
+        result = run_e7_derandomization("smoke")
+        for row in result.tables[0].rows:
+            sampled, bound, selected = float(row[2]), float(row[3]), float(row[4])
+            assert selected <= max(bound, sampled) + 1e-9
+
+    def test_e8_invariants(self):
+        result = run_e8_invariants("smoke")
+        assert result.headline["total_violations"] == 0
+
+    def test_e9_hash_family(self):
+        result = run_e9_hash_family("smoke")
+        assert result.headline["bound_violations"] == 0
+
+    def test_render_produces_text(self):
+        result = run_e9_hash_family("smoke")
+        text = result.render()
+        assert "E9" in text or "Lemma" in text

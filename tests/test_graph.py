@@ -1,0 +1,147 @@
+"""Unit tests for the Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, average_degree, degree_histogram
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert graph.size() == 0
+
+    def test_nodes_without_edges_are_kept(self):
+        graph = Graph(nodes=[3, 1, 2])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+        assert set(graph.nodes()) == {1, 2, 3}
+
+    def test_add_edge_adds_endpoints(self):
+        graph = Graph()
+        graph.add_edge(4, 9)
+        assert 4 in graph
+        assert 9 in graph
+        assert graph.has_edge(4, 9)
+        assert graph.has_edge(9, 4)
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_parallel_edges_collapse(self):
+        graph = Graph(edges=[(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_complete_graph(self):
+        graph = Graph.complete(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 10
+        assert graph.max_degree() == 4
+
+    def test_empty_factory(self):
+        graph = Graph.empty(4)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 0
+
+    def test_from_edges(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)], nodes=[7])
+        assert graph.num_nodes == 5
+        assert graph.has_edge(2, 3)
+
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert clone.has_edge(1, 2)
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self, petersen):
+        for node in petersen.nodes():
+            assert petersen.degree(node) == 3
+            assert len(petersen.neighbors(node)) == 3
+
+    def test_neighbors_returns_copy(self):
+        graph = Graph(edges=[(0, 1)])
+        neighbors = graph.neighbors(0)
+        neighbors.add(99)
+        assert 99 not in graph.neighbors(0)
+
+    def test_unknown_node_raises(self):
+        graph = Graph(edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            graph.degree(5)
+        with pytest.raises(GraphError):
+            graph.neighbors(5)
+
+    def test_degrees_map(self, path_graph):
+        degrees = path_graph.degrees()
+        assert degrees[0] == 1
+        assert degrees[2] == 2
+
+    def test_max_degree_empty(self):
+        assert Graph().max_degree() == 0
+        assert Graph(nodes=[1, 2]).max_degree() == 0
+
+    def test_size_counts_nodes_plus_edges(self, triangle):
+        assert triangle.size() == 3 + 3
+
+    def test_edges_iteration_is_canonical(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v in edges)
+
+    def test_len_and_iter(self, triangle):
+        assert len(triangle) == 3
+        assert sorted(triangle) == [0, 1, 2]
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self, petersen):
+        sub = petersen.induced_subgraph([0, 1, 2, 5])
+        assert sub.num_nodes == 4
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(0, 5)
+        assert not sub.has_edge(2, 3)
+
+    def test_induced_subgraph_ignores_unknown(self, triangle):
+        sub = triangle.induced_subgraph([0, 1, 42])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(0, 1)
+
+    def test_subgraph_degrees_within(self, petersen):
+        degrees = petersen.subgraph_degrees_within([0, 1, 2, 3, 4])
+        # The outer 5-cycle: each node keeps exactly its two cycle neighbors.
+        assert all(value == 2 for value in degrees.values())
+
+    def test_connected_components(self):
+        graph = Graph(edges=[(0, 1), (2, 3)], nodes=[9])
+        components = sorted(graph.connected_components(), key=len)
+        assert len(components) == 3
+        assert {9} in components
+
+    def test_relabeled(self):
+        graph = Graph(edges=[(10, 20), (20, 30)])
+        relabeled, mapping = graph.relabeled()
+        assert set(relabeled.nodes()) == {0, 1, 2}
+        assert relabeled.num_edges == 2
+        assert relabeled.has_edge(mapping[10], mapping[20])
+
+
+class TestHelpers:
+    def test_degree_histogram(self, path_graph):
+        histogram = degree_histogram(path_graph)
+        assert histogram == {1: 2, 2: 3}
+
+    def test_average_degree(self, triangle):
+        assert average_degree(triangle) == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph()) == 0.0

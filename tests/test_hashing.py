@@ -1,0 +1,278 @@
+"""Unit tests for the hashing substrate (field, families, seeds, bounds)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, HashFamilyError
+from repro.hashing.concentration import (
+    bad_bin_probability_bound,
+    bad_degree_probability_bound,
+    bad_palette_probability_bound,
+    bellare_rompel_tail_bound,
+    independence_needed_for_bound,
+)
+from repro.hashing.family import KWiseIndependentFamily
+from repro.hashing.field import (
+    MERSENNE_61,
+    choose_field_prime,
+    evaluate_polynomial,
+    is_prime,
+    next_prime_at_least,
+)
+from repro.hashing.seeds import Seed, bits_needed, enumerate_chunk_values, seed_from_int
+
+
+class TestField:
+    def test_is_prime_small(self):
+        primes = {2, 3, 5, 7, 11, 13, 97, 101}
+        for value in range(2, 110):
+            assert is_prime(value) == (value in primes or value in {
+                17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 103, 107, 109
+            })
+
+    def test_is_prime_mersenne(self):
+        assert is_prime(MERSENNE_61)
+        assert not is_prime(MERSENNE_61 - 1)
+
+    def test_next_prime_at_least(self):
+        assert next_prime_at_least(10) == 11
+        assert next_prime_at_least(11) == 11
+        assert next_prime_at_least(1) == 2
+
+    def test_choose_field_prime_covers_domain(self):
+        for domain in (1, 2, 10, 1000, 10**7):
+            prime = choose_field_prime(domain)
+            assert prime >= domain
+            assert is_prime(prime)
+
+    def test_choose_field_prime_large_domain_uses_mersenne(self):
+        assert choose_field_prime(2**40) == MERSENNE_61
+
+    def test_choose_field_prime_too_large(self):
+        with pytest.raises(HashFamilyError):
+            choose_field_prime(MERSENNE_61 + 10)
+
+    def test_evaluate_polynomial_horner(self):
+        # 3 + 2x + x^2 at x=5 mod 101 = 3 + 10 + 25 = 38
+        assert evaluate_polynomial([3, 2, 1], 5, 101) == 38
+
+    def test_evaluate_polynomial_empty(self):
+        assert evaluate_polynomial([], 5, 101) == 0
+
+
+class TestSeeds:
+    def test_round_trip(self):
+        seed = seed_from_int(37, 8)
+        assert seed.to_int() == 37
+        assert len(seed) == 8
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            seed_from_int(256, 8)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            Seed((0, 2))
+
+    def test_extended(self):
+        seed = Seed(()).extended(5, 4)
+        assert seed.to_int() == 5
+        longer = seed.extended(1, 2)
+        assert longer.to_int() == 5 * 4 + 1
+
+    def test_extended_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Seed(()).extended(4, 2)
+
+    def test_padded_to(self):
+        seed = seed_from_int(3, 2).padded_to(5)
+        assert len(seed) == 5
+        assert seed.to_int() == 3 << 3
+
+    def test_padded_shorter_raises(self):
+        with pytest.raises(ConfigurationError):
+            seed_from_int(3, 4).padded_to(2)
+
+    def test_enumerate_chunk_values(self):
+        assert list(enumerate_chunk_values(3)) == list(range(8))
+
+    def test_bits_needed(self):
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 1
+        assert bits_needed(3) == 2
+        assert bits_needed(1024) == 10
+        with pytest.raises(ConfigurationError):
+            bits_needed(0)
+
+
+class TestFamily:
+    def test_invalid_parameters(self):
+        with pytest.raises(HashFamilyError):
+            KWiseIndependentFamily(0, 4, 4)
+        with pytest.raises(HashFamilyError):
+            KWiseIndependentFamily(10, 0, 4)
+        with pytest.raises(HashFamilyError):
+            KWiseIndependentFamily(10, 4, 0)
+
+    def test_outputs_in_range(self):
+        family = KWiseIndependentFamily(domain_size=100, range_size=7, independence=4)
+        function = family.from_seed_int(12345)
+        values = [function(x) for x in range(100)]
+        assert all(0 <= value < 7 for value in values)
+
+    def test_domain_enforced(self):
+        family = KWiseIndependentFamily(domain_size=10, range_size=3, independence=4)
+        function = family.from_seed_int(1)
+        with pytest.raises(HashFamilyError):
+            function(10)
+
+    def test_same_seed_same_function(self):
+        family = KWiseIndependentFamily(domain_size=50, range_size=5, independence=4)
+        f = family.from_seed_int(77)
+        g = family.from_seed_int(77)
+        assert [f(x) for x in range(50)] == [g(x) for x in range(50)]
+
+    def test_different_seeds_usually_differ(self):
+        family = KWiseIndependentFamily(domain_size=50, range_size=5, independence=4)
+        f = family.from_seed_int(1)
+        g = family.from_seed_int(2)
+        assert [f(x) for x in range(50)] != [g(x) for x in range(50)]
+
+    def test_seed_length(self):
+        family = KWiseIndependentFamily(domain_size=1000, range_size=4, independence=6)
+        assert family.seed_length_bits == 6 * family.bits_per_coefficient
+        assert family.family_size == 2**family.seed_length_bits
+
+    def test_from_partial_seed_pads(self):
+        family = KWiseIndependentFamily(domain_size=100, range_size=3, independence=4)
+        partial = seed_from_int(5, 4)
+        function = family.from_partial_seed(partial)
+        assert function.seed_bits == family.seed_length_bits
+
+    def test_wrong_seed_length_rejected(self):
+        family = KWiseIndependentFamily(domain_size=100, range_size=3, independence=4)
+        with pytest.raises(HashFamilyError):
+            family.from_seed(seed_from_int(1, 3))
+
+    def test_random_function_reproducible(self):
+        family = KWiseIndependentFamily(domain_size=100, range_size=5, independence=4)
+        f = family.random_function(random.Random(9))
+        g = family.random_function(random.Random(9))
+        assert [f(x) for x in range(100)] == [g(x) for x in range(100)]
+
+    def test_functions_from_seed_ints(self):
+        family = KWiseIndependentFamily(domain_size=10, range_size=2, independence=4)
+        functions = list(family.functions_from_seed_ints([0, 1, 2]))
+        assert len(functions) == 3
+
+    def test_marginals_approximately_uniform(self):
+        """Averaged over many seeds, each input lands in each bin ~uniformly."""
+        family = KWiseIndependentFamily(domain_size=16, range_size=4, independence=4)
+        counts = {bin_index: 0 for bin_index in range(4)}
+        num_seeds = 400
+        for seed in range(num_seeds):
+            function = family.from_seed_int(seed * 7919)
+            counts[function(3)] += 1
+        expected = num_seeds / 4
+        for count in counts.values():
+            assert abs(count - expected) < 0.35 * expected
+
+    def test_pairwise_independence_statistics(self):
+        """Joint distribution of (h(a), h(b)) is near-uniform over seeds."""
+        family = KWiseIndependentFamily(domain_size=32, range_size=2, independence=4)
+        joint = {(i, j): 0 for i in range(2) for j in range(2)}
+        num_seeds = 600
+        for seed in range(num_seeds):
+            function = family.from_seed_int(seed * 104729)
+            joint[(function(4), function(21))] += 1
+        expected = num_seeds / 4
+        for count in joint.values():
+            assert abs(count - expected) < 0.35 * expected
+
+    def test_field_values_exactly_kwise_independent_for_small_field(self):
+        """Over the whole family, tuples of field outputs are exactly uniform.
+
+        For a degree-(k-1) polynomial family over F_p, the map from
+        coefficient vectors to (h(x1), ..., h(xk)) is a bijection for any k
+        distinct points, so enumerating all p^k polynomials must hit every
+        output tuple exactly once.  We verify this for a small prime.
+        """
+        prime = 5
+        independence = 2
+        points = (1, 3)
+        seen = {}
+        for a0 in range(prime):
+            for a1 in range(prime):
+                outputs = tuple(
+                    evaluate_polynomial([a0, a1], x, prime) for x in points
+                )
+                seen[outputs] = seen.get(outputs, 0) + 1
+        assert len(seen) == prime**independence
+        assert set(seen.values()) == {1}
+
+
+class TestConcentration:
+    def test_bound_decreases_with_deviation(self):
+        loose = bellare_rompel_tail_bound(100, 10.0, 4)
+        tight = bellare_rompel_tail_bound(100, 50.0, 4)
+        assert tight < loose
+
+    def test_bound_capped_at_one(self):
+        assert bellare_rompel_tail_bound(1000, 1.0, 4) == 1.0
+
+    def test_zero_variables(self):
+        assert bellare_rompel_tail_bound(0, 5.0, 4) == 0.0
+
+    def test_invalid_independence(self):
+        with pytest.raises(ConfigurationError):
+            bellare_rompel_tail_bound(10, 1.0, 3)
+        with pytest.raises(ConfigurationError):
+            bellare_rompel_tail_bound(10, 1.0, 5)
+
+    def test_invalid_deviation(self):
+        with pytest.raises(ConfigurationError):
+            bellare_rompel_tail_bound(10, 0.0, 4)
+
+    def test_lemma_3_5_shape(self):
+        """The Lemma 3.5 quantity l^-3 is reachable once 0.1*c exceeds 3.
+
+        The paper's "sufficiently large constant c" resolves to c >= 32 for
+        the deviation l^0.6 over l variables: the bound is
+        2 (c l^-0.2)^(c/2), which is below l^-3 asymptotically exactly when
+        0.1 c > 3.  We check the asymptotic exponent rather than a concrete
+        huge l (the crossover point is astronomically large).
+        """
+        import math
+
+        c = 32
+        ell = 10.0**30
+        bound = bellare_rompel_tail_bound(int(ell), ell**0.6, c)
+        # log-scale exponent of the bound: log_l(bound) -> -(0.1 c) + o(1).
+        exponent = math.log(bound) / math.log(ell)
+        assert exponent < -2.0  # decaying polynomially, approaching -3.2
+        # And the asymptotic decay rate beats l^-3 for c = 32:
+        assert 0.1 * c > 3
+
+    def test_independence_needed_for_reachable_target(self):
+        # Deviation far above the standard deviation: small c suffices.
+        needed = independence_needed_for_bound(100, 200.0, 1e-3)
+        assert needed >= 4
+        assert bellare_rompel_tail_bound(100, 200.0, needed) <= 1e-3
+
+    def test_independence_needed_raises_when_impossible(self):
+        with pytest.raises(ConfigurationError):
+            independence_needed_for_bound(100, 1.0, 0.001)
+
+    def test_helper_bounds_trivial_cases(self):
+        assert bad_degree_probability_bound(10, 1.0, 4) == 1.0
+        assert bad_palette_probability_bound(1, 4) == 1.0
+        assert bad_bin_probability_bound(1, 4) == 0.0
+
+    def test_bound_monotone_in_t(self):
+        assert bellare_rompel_tail_bound(10, 100.0, 4) <= bellare_rompel_tail_bound(
+            1000, 100.0, 4
+        )

@@ -1,0 +1,145 @@
+"""Tests for the Lemma 3.2 invariant auditor and the Lemma 3.11-3.14 bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.invariants import check_invariant
+from repro.core.params import ColorReduceParameters
+from repro.core.recursion import (
+    bin_size_upper_bound,
+    closed_form_table,
+    degree_upper_bound,
+    depth_nine_size_ratio,
+    ell_bounds,
+    nodes_upper_bound,
+    summarize_recursion,
+)
+from repro.core import ColorReduce
+from repro.errors import ConfigurationError
+from repro.graph import Graph, PaletteAssignment, generators
+
+
+class TestInvariantChecker:
+    def test_fresh_delta_plus_one_instance_satisfies_invariant(self, dense_random):
+        palettes = PaletteAssignment.delta_plus_one(dense_random)
+        report = check_invariant(dense_random, palettes, ell=dense_random.max_degree())
+        assert report.holds
+        assert report.num_violations == 0
+
+    def test_condition_i_violation_detected(self, triangle):
+        palettes = PaletteAssignment.delta_plus_one(triangle)
+        report = check_invariant(triangle, palettes, ell=10)
+        assert not report.holds
+        assert "(i)" in list(report.violations_by_condition())[0]
+
+    def test_condition_ii_violation_detected(self):
+        star = generators.star(50)
+        palettes = PaletteAssignment.from_lists(
+            {node: range(60) for node in star.nodes()}
+        )
+        report = check_invariant(star, palettes, ell=2)
+        conditions = report.violations_by_condition()
+        assert any("(ii)" in key for key in conditions)
+
+    def test_condition_iii_violation_detected(self, triangle):
+        palettes = PaletteAssignment.from_lists({0: [0, 1], 1: [0, 1], 2: [0, 1]})
+        report = check_invariant(triangle, palettes, ell=1, check_ell_conditions=False)
+        assert not report.holds
+        assert all("(iii)" in v.condition for v in report.violations)
+
+    def test_skipping_ell_conditions(self, triangle):
+        palettes = PaletteAssignment.delta_plus_one(triangle)
+        report = check_invariant(triangle, palettes, ell=10, check_ell_conditions=False)
+        assert report.holds
+
+    def test_report_counts_nodes(self, dense_random):
+        palettes = PaletteAssignment.delta_plus_one(dense_random)
+        report = check_invariant(dense_random, palettes, ell=dense_random.max_degree())
+        assert report.num_nodes == dense_random.num_nodes
+
+
+class TestClosedFormBounds:
+    def test_ell_bounds_lemma_3_11(self):
+        delta = 10.0**9
+        for depth in range(10):
+            lower, upper = ell_bounds(delta, depth)
+            assert lower == pytest.approx(0.5 * upper)
+            assert upper == pytest.approx(delta ** (0.9**depth))
+            # l_i decreases with depth.
+            if depth > 0:
+                assert upper < ell_bounds(delta, depth - 1)[1]
+
+    def test_ell_bounds_validation(self):
+        with pytest.raises(ConfigurationError):
+            ell_bounds(0.5, 1)
+        with pytest.raises(ConfigurationError):
+            ell_bounds(10, -1)
+
+    def test_nodes_upper_bound_lemma_3_12_base(self):
+        assert nodes_upper_bound(1000, 100, 0) == pytest.approx(1000 + 1000**0.6)
+
+    def test_degree_upper_bound_lemma_3_13_base(self):
+        assert degree_upper_bound(100, 0) == pytest.approx(100)
+        assert degree_upper_bound(100, 3) == pytest.approx(8 * 100 ** (0.9**3))
+
+    def test_lemma_3_14_depth_nine_is_linear(self):
+        """Lemma 3.14: at depth 9 every bin's graph has size O(n).
+
+        The proof gives the explicit constant 6^9 (Δ^{-0.2} + 1) <= 2 * 6^9;
+        we check the ratio bound over a wide range of n and Δ.
+        """
+        ceiling = 2 * 6**9
+        for n in (10**3, 10**6, 10**9, 10**12):
+            # In any simple graph Δ < n; the proof's last step uses Δ <= n.
+            for delta in (10.0, 10**3, 10**6, 10**9):
+                if delta > n:
+                    continue
+                ratio = depth_nine_size_ratio(float(n), float(delta))
+                assert ratio <= ceiling
+
+    def test_depth_nine_bin_size_is_linear_in_n(self):
+        for n, delta in ((10.0**6, 10.0**4), (10.0**9, 10.0**6), (10.0**12, 10.0**9)):
+            assert bin_size_upper_bound(n, delta, 9) <= 2 * 6**9 * n
+
+    def test_closed_form_table_shape(self):
+        table = closed_form_table(10**6, 10**4, max_depth=9)
+        assert len(table) == 10
+        assert table[0].depth == 0
+        assert table[-1].depth == 9
+        # Depth-9 bin size is within the Lemma 3.14 constant times n.
+        assert table[-1].bin_size_upper <= 2 * 6**9 * 10**6
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nodes_upper_bound(10, 10, -1)
+        with pytest.raises(ConfigurationError):
+            degree_upper_bound(10, -2)
+        with pytest.raises(ConfigurationError):
+            bin_size_upper_bound(10, 10, -1)
+
+
+class TestMeasuredRecursion:
+    def test_summary_consistency(self, dense_random):
+        result = ColorReduce().run(dense_random)
+        summary = summarize_recursion(result.recursion_root)
+        assert summary.max_depth == result.max_recursion_depth
+        assert summary.total_calls >= 1
+        assert 0 in summary.max_size_by_depth
+        assert summary.max_size_by_depth[0] == dense_random.size()
+
+    def test_measured_depth_consistent_with_lemma(self):
+        """Measured recursion depth never exceeds the paper's bound of 9."""
+        for seed, p in ((1, 0.2), (2, 0.4), (3, 0.6)):
+            graph = generators.erdos_renyi(180, p, seed=seed)
+            result = ColorReduce().run(graph)
+            assert result.max_recursion_depth <= 9
+
+    def test_instance_sizes_shrink_with_depth(self, dense_random):
+        result = ColorReduce().run(dense_random)
+        summary = summarize_recursion(result.recursion_root)
+        depths = sorted(summary.max_size_by_depth)
+        sizes = [summary.max_size_by_depth[d] for d in depths]
+        assert all(later <= earlier for earlier, later in zip(sizes, sizes[1:]))

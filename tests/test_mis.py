@@ -1,0 +1,156 @@
+"""Tests for the MIS algorithms and the list-coloring -> MIS reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.low_space.mis_reduction import (
+    build_reduction_graph,
+    color_via_mis,
+    coloring_from_mis,
+)
+from repro.errors import ColoringError
+from repro.graph import Graph, PaletteAssignment, generators
+from repro.graph.validation import assert_valid_list_coloring
+from repro.mis import (
+    assert_maximal_independent_set,
+    deterministic_mis,
+    greedy_mis,
+    is_independent_set,
+    luby_mis,
+)
+from repro.mis.validation import is_maximal_independent_set
+
+
+@pytest.fixture
+def random_graph():
+    return generators.erdos_renyi(120, 0.08, seed=21)
+
+
+class TestGreedyMIS:
+    def test_is_maximal_independent(self, random_graph):
+        mis = greedy_mis(random_graph)
+        assert_maximal_independent_set(random_graph, mis)
+
+    def test_respects_order(self, path_graph):
+        assert greedy_mis(path_graph, order=[0, 1, 2, 3, 4]) == {0, 2, 4}
+        assert greedy_mis(path_graph, order=[1, 3, 0, 2, 4]) == {1, 3}
+
+    def test_empty_and_edgeless(self):
+        assert greedy_mis(Graph()) == set()
+        assert greedy_mis(Graph.empty(5)) == {0, 1, 2, 3, 4}
+
+    def test_complete_graph_single_node(self):
+        assert len(greedy_mis(Graph.complete(10))) == 1
+
+
+class TestLubyMIS:
+    def test_is_maximal_independent(self, random_graph):
+        result = luby_mis(random_graph, seed=5)
+        assert_maximal_independent_set(random_graph, result.independent_set)
+        assert result.phases >= 1
+
+    def test_deterministic_given_seed(self, random_graph):
+        a = luby_mis(random_graph, seed=5)
+        b = luby_mis(random_graph, seed=5)
+        assert a.independent_set == b.independent_set
+
+    def test_phase_count_logarithmic(self, random_graph):
+        result = luby_mis(random_graph, seed=5)
+        assert result.phases <= 4 * random_graph.num_nodes.bit_length() + 8
+
+    def test_edgeless_graph(self):
+        result = luby_mis(Graph.empty(6), seed=1)
+        assert result.independent_set == {0, 1, 2, 3, 4, 5}
+
+
+class TestDeterministicMIS:
+    def test_is_maximal_independent(self, random_graph):
+        result = deterministic_mis(random_graph)
+        assert_maximal_independent_set(random_graph, result.independent_set)
+
+    def test_reproducible(self, random_graph):
+        a = deterministic_mis(random_graph)
+        b = deterministic_mis(random_graph)
+        assert a.independent_set == b.independent_set
+        assert a.phases == b.phases
+
+    def test_structured_graphs(self):
+        for graph in (Graph.complete(12), generators.ring(17), generators.star(20)):
+            result = deterministic_mis(graph)
+            assert_maximal_independent_set(graph, result.independent_set)
+
+    def test_phase_count_reasonable(self, random_graph):
+        result = deterministic_mis(random_graph)
+        assert result.phases <= 8 * random_graph.num_nodes.bit_length() + 8
+
+
+class TestValidationHelpers:
+    def test_is_independent_set(self, triangle):
+        assert is_independent_set(triangle, {0})
+        assert not is_independent_set(triangle, {0, 1})
+
+    def test_is_maximal(self, path_graph):
+        assert is_maximal_independent_set(path_graph, {0, 2, 4})
+        assert not is_maximal_independent_set(path_graph, {0, 4})
+        assert not is_maximal_independent_set(path_graph, {0, 1})
+
+
+class TestMISReduction:
+    def test_reduction_graph_structure(self, triangle):
+        palettes = PaletteAssignment.delta_plus_one(triangle)
+        reduction = build_reduction_graph(triangle, palettes)
+        # Each node contributes a clique on deg+1 = 3 colors.
+        assert reduction.num_vertices == 9
+        # Conflict edges exist because palettes are shared.
+        assert reduction.graph.num_edges > 3 * 3
+
+    def test_reduction_truncates_palettes(self):
+        graph = Graph(edges=[(0, 1)])
+        palettes = PaletteAssignment.from_lists({0: range(100), 1: range(100)})
+        reduction = build_reduction_graph(graph, palettes, truncate=True)
+        assert reduction.num_vertices == 4  # deg+1 = 2 colors per node
+
+    def test_reduction_empty_palette_raises(self):
+        graph = Graph(nodes=[0])
+        palettes = PaletteAssignment.from_lists({0: []})
+        with pytest.raises(ColoringError):
+            build_reduction_graph(graph, palettes)
+
+    def test_mis_of_reduction_gives_valid_coloring(self, random_graph):
+        palettes = PaletteAssignment.degree_plus_one(random_graph)
+        coloring, mis_result, reduction = color_via_mis(
+            random_graph, palettes, lambda g: luby_mis(g, seed=3)
+        )
+        assert_valid_list_coloring(random_graph, palettes, coloring)
+        assert reduction.num_vertices > 0
+        assert mis_result.phases >= 1
+
+    def test_color_via_mis_with_deterministic_solver(self):
+        graph = generators.erdos_renyi(60, 0.1, seed=8)
+        palettes = PaletteAssignment.degree_plus_one(graph)
+        coloring, _, _ = color_via_mis(graph, palettes, deterministic_mis)
+        assert_valid_list_coloring(graph, palettes, coloring)
+
+    def test_color_via_mis_empty_graph(self):
+        coloring, result, reduction = color_via_mis(
+            Graph(), PaletteAssignment({}), deterministic_mis
+        )
+        assert coloring == {}
+        assert result.phases == 0
+
+    def test_coloring_from_incomplete_set_raises(self, triangle):
+        palettes = PaletteAssignment.delta_plus_one(triangle)
+        reduction = build_reduction_graph(triangle, palettes)
+        with pytest.raises(ColoringError):
+            coloring_from_mis(reduction, set())
+
+    def test_coloring_from_non_independent_set_raises(self, triangle):
+        palettes = PaletteAssignment.delta_plus_one(triangle)
+        reduction = build_reduction_graph(triangle, palettes)
+        # Two copies of the same original node.
+        vertices = [
+            v for v, (node, _) in reduction.vertex_to_node_color.items() if node == 0
+        ]
+        with pytest.raises(ColoringError):
+            coloring_from_mis(reduction, set(vertices[:2]))

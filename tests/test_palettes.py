@@ -1,0 +1,128 @@
+"""Unit tests for PaletteAssignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PaletteError
+from repro.graph import Graph, PaletteAssignment
+
+
+class TestConstructors:
+    def test_delta_plus_one(self, triangle):
+        palettes = PaletteAssignment.delta_plus_one(triangle)
+        for node in triangle.nodes():
+            assert palettes.palette(node) == {0, 1, 2}
+
+    def test_delta_plus_one_explicit_delta(self, triangle):
+        palettes = PaletteAssignment.delta_plus_one(triangle, delta=5)
+        assert palettes.palette_size(0) == 6
+
+    def test_degree_plus_one(self, path_graph):
+        palettes = PaletteAssignment.degree_plus_one(path_graph)
+        assert palettes.palette_size(0) == 2
+        assert palettes.palette_size(2) == 3
+
+    def test_from_lists(self):
+        palettes = PaletteAssignment.from_lists({0: [5, 7], 1: [7, 9]})
+        assert palettes.palette(0) == {5, 7}
+        assert palettes.palette(1) == {7, 9}
+
+    def test_copy_is_deep(self):
+        palettes = PaletteAssignment.from_lists({0: [1, 2]})
+        clone = palettes.copy()
+        clone.remove_color(0, 1)
+        assert palettes.palette(0) == {1, 2}
+        assert clone.palette(0) == {2}
+
+
+class TestQueries:
+    def test_missing_node_raises(self):
+        palettes = PaletteAssignment.from_lists({0: [1]})
+        with pytest.raises(PaletteError):
+            palettes.palette(3)
+        with pytest.raises(PaletteError):
+            palettes.palette_size(3)
+
+    def test_total_size(self):
+        palettes = PaletteAssignment.from_lists({0: [1, 2], 1: [3]})
+        assert palettes.total_size() == 3
+
+    def test_color_universe(self):
+        palettes = PaletteAssignment.from_lists({0: [1, 2], 1: [2, 5]})
+        assert palettes.color_universe() == {1, 2, 5}
+
+    def test_contains_color(self):
+        palettes = PaletteAssignment.from_lists({0: [1, 2]})
+        assert palettes.contains_color(0, 1)
+        assert not palettes.contains_color(0, 9)
+        assert not palettes.contains_color(7, 1)
+
+    def test_len_and_contains(self):
+        palettes = PaletteAssignment.from_lists({0: [1], 4: [2]})
+        assert len(palettes) == 2
+        assert 4 in palettes
+        assert 1 not in palettes
+
+
+class TestOperations:
+    def test_restricted_to_filters_colors(self):
+        palettes = PaletteAssignment.from_lists({0: [1, 2, 3, 4], 1: [2, 4, 6]})
+        restricted = palettes.restricted_to([0, 1], keep_color=lambda c: c % 2 == 0)
+        assert restricted.palette(0) == {2, 4}
+        assert restricted.palette(1) == {2, 4, 6}
+
+    def test_restricted_to_unknown_node_raises(self):
+        palettes = PaletteAssignment.from_lists({0: [1]})
+        with pytest.raises(PaletteError):
+            palettes.restricted_to([0, 9])
+
+    def test_subset_keeps_palettes(self):
+        palettes = PaletteAssignment.from_lists({0: [1, 2], 1: [3]})
+        subset = palettes.subset([0])
+        assert subset.nodes() == [0]
+        assert subset.palette(0) == {1, 2}
+
+    def test_remove_colors_used_by_neighbors(self, triangle):
+        palettes = PaletteAssignment.delta_plus_one(triangle)
+        removed = palettes.remove_colors_used_by_neighbors(triangle, {0: 1})
+        # Both neighbors of node 0 lose color 1.
+        assert removed == 2
+        assert palettes.palette(1) == {0, 2}
+        assert palettes.palette(2) == {0, 2}
+        assert palettes.palette(0) == {0, 1, 2}
+
+    def test_remove_colors_restricted_to_nodes(self, triangle):
+        palettes = PaletteAssignment.delta_plus_one(triangle)
+        removed = palettes.remove_colors_used_by_neighbors(triangle, {0: 1}, nodes=[2])
+        assert removed == 1
+        assert palettes.palette(1) == {0, 1, 2}
+        assert palettes.palette(2) == {0, 2}
+
+    def test_remove_color_noop_when_absent(self):
+        palettes = PaletteAssignment.from_lists({0: [1]})
+        palettes.remove_color(0, 9)
+        assert palettes.palette(0) == {1}
+
+
+class TestValidation:
+    def test_validate_for_graph_passes(self, triangle):
+        palettes = PaletteAssignment.delta_plus_one(triangle)
+        palettes.validate_for_graph(triangle)
+
+    def test_validate_for_graph_missing_node(self, triangle):
+        palettes = PaletteAssignment.from_lists({0: [0, 1, 2], 1: [0, 1, 2]})
+        with pytest.raises(PaletteError):
+            palettes.validate_for_graph(triangle)
+
+    def test_validate_for_graph_too_small(self, triangle):
+        palettes = PaletteAssignment.from_lists({0: [0, 1], 1: [0, 1, 2], 2: [0, 1, 2]})
+        with pytest.raises(PaletteError):
+            palettes.validate_for_graph(triangle)
+
+    def test_min_slack(self, path_graph):
+        palettes = PaletteAssignment.degree_plus_one(path_graph)
+        assert palettes.min_slack(path_graph) == 1
+
+    def test_min_slack_empty(self):
+        assert PaletteAssignment({}).min_slack(Graph()) == 0

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These tests generate random graphs, palettes and hash-family parameters and
+assert the invariants the rest of the library relies on:
+
+* any graph + (deg+1)-style palettes is always properly list-colored by both
+  the greedy local solver and the full ``ColorReduce`` pipeline,
+* palette operations never increase palette sizes and never affect other
+  nodes,
+* hash functions always land in range and are reproducible from their seed,
+* the MIS algorithms always return maximal independent sets.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ColorReduce, ColorReduceParameters
+from repro.core.local_coloring import greedy_list_coloring
+from repro.graph import Graph, PaletteAssignment
+from repro.graph.validation import assert_valid_list_coloring, is_proper_coloring
+from repro.hashing.family import KWiseIndependentFamily
+from repro.mis import deterministic_mis, greedy_mis, luby_mis
+from repro.mis.validation import is_maximal_independent_set
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 40):
+    """A random simple graph with 0..max_nodes nodes."""
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    edges = []
+    if n >= 2:
+        density = draw(st.floats(min_value=0.0, max_value=0.5))
+        rng_bits = draw(st.randoms(use_true_random=False))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng_bits.random() < density:
+                    edges.append((u, v))
+    return Graph(nodes=range(n), edges=edges)
+
+
+@st.composite
+def graphs_with_palettes(draw):
+    """A graph plus (deg+1)-style palettes (for the greedy/local solvers)."""
+    graph = draw(graphs())
+    extra = draw(st.integers(min_value=0, max_value=3))
+    offset = draw(st.integers(min_value=0, max_value=50))
+    palettes = {
+        node: [offset + c for c in range(graph.degree(node) + 1 + extra)]
+        for node in graph.nodes()
+    }
+    return graph, PaletteAssignment.from_lists(palettes)
+
+
+@st.composite
+def list_coloring_instances(draw):
+    """A graph plus (Δ+1)-list palettes (ColorReduce's input contract)."""
+    graph = draw(graphs())
+    extra = draw(st.integers(min_value=0, max_value=3))
+    delta = graph.max_degree()
+    rng = draw(st.randoms(use_true_random=False))
+    universe = list(range(2 * (delta + 1) + extra + 1))
+    palettes = {
+        node: rng.sample(universe, delta + 1 + extra) for node in graph.nodes()
+    }
+    return graph, PaletteAssignment.from_lists(palettes)
+
+
+class TestGreedyColoringProperties:
+    @SETTINGS
+    @given(graphs_with_palettes())
+    def test_greedy_always_valid(self, data):
+        graph, palettes = data
+        coloring = greedy_list_coloring(graph, palettes)
+        assert_valid_list_coloring(graph, palettes, coloring)
+
+    @SETTINGS
+    @given(graphs())
+    def test_greedy_delta_plus_one_never_exceeds_bound(self, graph):
+        palettes = PaletteAssignment.delta_plus_one(graph)
+        coloring = greedy_list_coloring(graph, palettes)
+        if graph.num_nodes:
+            assert max(coloring.values(), default=0) <= graph.max_degree()
+
+
+class TestColorReduceProperties:
+    @SETTINGS
+    @given(list_coloring_instances())
+    def test_color_reduce_always_valid(self, data):
+        graph, palettes = data
+        result = ColorReduce().run(graph, palettes)
+        assert_valid_list_coloring(graph, palettes, result.coloring)
+
+    @SETTINGS
+    @given(graphs())
+    def test_color_reduce_scaled_always_valid(self, graph):
+        params = ColorReduceParameters.scaled(num_bins=3, collect_factor=1.0)
+        result = ColorReduce(params=params).run(graph)
+        palettes = PaletteAssignment.delta_plus_one(graph)
+        assert_valid_list_coloring(graph, palettes, result.coloring)
+
+    @SETTINGS
+    @given(graphs())
+    def test_depth_bound_and_determinism(self, graph):
+        first = ColorReduce().run(graph)
+        second = ColorReduce().run(graph)
+        assert first.coloring == second.coloring
+        assert first.max_recursion_depth <= 9
+
+
+class TestPaletteProperties:
+    @SETTINGS
+    @given(graphs_with_palettes(), st.dictionaries(st.integers(0, 39), st.integers(0, 60)))
+    def test_removal_never_grows_palettes(self, data, coloring):
+        graph, palettes = data
+        before = {node: palettes.palette_size(node) for node in palettes.nodes()}
+        palettes.remove_colors_used_by_neighbors(graph, coloring)
+        for node in palettes.nodes():
+            assert palettes.palette_size(node) <= before[node]
+
+    @SETTINGS
+    @given(graphs_with_palettes())
+    def test_restriction_is_subset(self, data):
+        graph, palettes = data
+        restricted = palettes.restricted_to(graph.nodes(), keep_color=lambda c: c % 2 == 0)
+        for node in graph.nodes():
+            assert restricted.palette(node).issubset(palettes.palette(node))
+
+
+class TestHashFamilyProperties:
+    @SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=2**20),
+    )
+    def test_output_in_range_and_reproducible(self, domain, range_size, seed_int):
+        family = KWiseIndependentFamily(domain, range_size, independence=4)
+        f = family.from_seed_int(seed_int)
+        g = family.from_seed_int(seed_int)
+        for x in range(0, domain, max(1, domain // 10)):
+            value = f(x)
+            assert 0 <= value < range_size
+            assert value == g(x)
+
+
+class TestMISProperties:
+    @SETTINGS
+    @given(graphs())
+    def test_all_mis_algorithms_maximal(self, graph):
+        assert is_maximal_independent_set(graph, greedy_mis(graph))
+        assert is_maximal_independent_set(graph, luby_mis(graph, seed=0).independent_set)
+        assert is_maximal_independent_set(graph, deterministic_mis(graph).independent_set)
+
+
+class TestProperColoringCheckerProperties:
+    @SETTINGS
+    @given(graphs())
+    def test_identity_coloring_always_proper(self, graph):
+        coloring = {node: node for node in graph.nodes()}
+        assert is_proper_coloring(graph, coloring)

@@ -1,0 +1,80 @@
+"""Tests for the named workload registry and the ablation studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ablations import (
+    run_a1_bin_count,
+    run_a2_selection_strategy,
+    run_a3_independence,
+    run_a4_collect_threshold,
+    run_a5_workload_sweep,
+)
+from repro.experiments.workloads import build_workload, list_workloads
+from repro.graph.validation import is_valid_list_coloring
+
+
+class TestWorkloads:
+    def test_registry_is_nonempty_and_documented(self):
+        specs = list_workloads()
+        assert len(specs) >= 6
+        for spec in specs:
+            assert spec.description
+            assert spec.problem in (
+                "(Δ+1)-coloring",
+                "(Δ+1)-list coloring",
+                "(deg+1)-list coloring",
+            )
+
+    @pytest.mark.parametrize("name", [spec.name for spec in list_workloads()])
+    def test_every_workload_builds_a_consistent_instance(self, name):
+        graph, palettes, spec = build_workload(name, 120, seed=3)
+        assert graph.num_nodes > 0
+        # Every node has a palette strictly larger than its degree, so the
+        # instance is always list-colorable.
+        palettes.validate_for_graph(graph)
+
+    def test_workloads_are_deterministic(self):
+        a_graph, a_palettes, _ = build_workload("dense-random-lists", 100, seed=5)
+        b_graph, b_palettes, _ = build_workload("dense-random-lists", 100, seed=5)
+        assert sorted(a_graph.edges()) == sorted(b_graph.edges())
+        assert all(
+            a_palettes.palette(node) == b_palettes.palette(node) for node in a_graph.nodes()
+        )
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            build_workload("no-such-workload", 50)
+
+
+class TestAblations:
+    def test_a1_bin_count(self):
+        result = run_a1_bin_count("smoke")
+        assert result.headline["max_depth"] <= 9
+        bins_column = [row[2] for row in result.tables[0].rows]
+        assert bins_column == sorted(bins_column)
+
+    def test_a2_selection_strategy(self):
+        result = run_a2_selection_strategy("smoke")
+        assert result.headline["guaranteed_strategies_ok"] == 1.0
+        strategies = {row[0] for row in result.tables[0].rows}
+        assert "random" in strategies and "first-feasible" in strategies
+
+    def test_a3_independence(self):
+        result = run_a3_independence("smoke")
+        assert result.headline["max_bad_nodes"] <= 16
+        seed_bits = [row[1] for row in result.tables[0].rows]
+        assert seed_bits == sorted(seed_bits)
+
+    def test_a4_collect_threshold(self):
+        result = run_a4_collect_threshold("smoke")
+        assert result.headline["max_depth"] <= 9
+        depths = [row[2] for row in result.tables[0].rows]
+        # Larger thresholds can only make the recursion shallower.
+        assert depths == sorted(depths, reverse=True)
+
+    def test_a5_workload_sweep(self):
+        result = run_a5_workload_sweep("smoke")
+        assert result.headline["workloads"] >= 5
