@@ -12,15 +12,34 @@ which Lemma 3.8 bounds in expectation by ``n / l^2``.
 
 This module computes the classification for a concrete ``(h1, h2)`` pair and
 exposes the cost function used by :class:`repro.derand.HashPairSelector`.
+
+Two implementations of the cost coexist, by design:
+
+* :func:`classify_partition` — the per-node dataclass path.  It is the
+  *reference implementation*: readable, audited against Definition 3.1, and
+  the one that builds the actual :class:`PartitionClassification` for the
+  selected pair.
+* :class:`PartitionCostEvaluator` (returned by
+  :func:`partition_cost_function`) — scores *batches* of candidate pairs as
+  a handful of NumPy array operations over the graph's CSR view
+  (:mod:`repro.graph.csr`) and the vectorized hash kernels
+  (:mod:`repro.hashing.batch`): in-bin degrees, bin sizes and in-bin
+  palette counts all become ``np.bincount`` scatters.
+
+Substitution rule: the batched evaluator returns **bit-identical** costs to
+the scalar path for every pair (same integer counts, same IEEE-754
+comparisons in the same order), so the selection strategies may use either
+interchangeably — ``tests/test_batch_kernels.py`` asserts this, including
+identical selected seeds end to end.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.params import ColorReduceParameters
-from repro.derand.cost import PairCost
+from repro.derand.cost import PairCost, assert_uniform_pair_families
 from repro.graph.graph import Graph
 from repro.graph.palettes import PaletteAssignment
 from repro.hashing.family import HashFunction
@@ -159,7 +178,9 @@ def classify_partition(
         node_bin = bin_of_node[node]
         degree = graph.degree(node)
         in_bin_degree = sum(
-            1 for neighbor in graph.neighbors(node) if bin_of_node[neighbor] == node_bin
+            1
+            for neighbor in graph.iter_neighbors(node)
+            if bin_of_node[neighbor] == node_bin
         )
         palette_size = palettes.palette_size(node)
         expected_in_bin_degree = degree / num_bins
@@ -205,6 +226,209 @@ def classify_partition(
     return classification
 
 
+class PartitionCostEvaluator:
+    """Equation (1) cost with a scalar reference path and a batched kernel.
+
+    Calling the evaluator with a single pair runs the per-node reference
+    implementation (:func:`classify_partition`).  :meth:`many` scores a whole
+    batch of candidate pairs as one matrix computation:
+
+    1. ``bins1``: a ``(S, n)`` node-bin matrix from the vectorized Horner
+       kernel (one row per candidate seed),
+    2. ``bins2``: a ``(S, U)`` color-bin matrix over the palette universe,
+    3. in-bin degrees: compare ``bins1`` at the two endpoint positions of
+       every directed edge (CSR ``edge_sources`` / ``indices``) and scatter
+       the matches with a per-row ``bincount``,
+    4. in-bin palette sizes: compare ``bins2`` at each palette entry's color
+       position against ``bins1`` at the owning node's position, scatter,
+    5. apply the Definition 3.1 thresholds as array comparisons and sum.
+
+    All static arrays (CSR view, palette-entry index arrays, per-node
+    degree/palette-size vectors, slack thresholds) are built once per
+    evaluator, i.e. once per ``Partition`` call, and shared by every batch
+    and every conditional-expectation chunk of the selection.
+    """
+
+    #: Soft cap on elements per intermediate matrix; batches are sliced into
+    #: slabs so ``slab_rows * max(num_palette_entries, num_directed_edges)``
+    #: stays below this.  Deliberately small: the gather/compare/reduceat
+    #: pipeline is memory-bound, and slabs whose intermediates fit in cache
+    #: are several times faster than one monolithic batch.
+    MAX_ELEMENTS = 1 << 20
+
+    def __init__(
+        self,
+        graph: Graph,
+        palettes: PaletteAssignment,
+        params: ColorReduceParameters,
+        ell: float,
+        global_nodes: int,
+    ) -> None:
+        self.graph = graph
+        self.palettes = palettes
+        self.params = params
+        self.ell = ell
+        self.global_nodes = global_nodes
+        self._prep = None
+
+    # -- scalar reference path -----------------------------------------
+    def __call__(self, h1: HashFunction, h2: HashFunction) -> float:
+        classification = classify_partition(
+            self.graph, self.palettes, h1, h2, self.params, self.ell, self.global_nodes
+        )
+        return classification.cost(self.global_nodes)
+
+    # -- batched path ---------------------------------------------------
+    @property
+    def batch_enabled(self) -> bool:
+        """Whether the vectorized kernel is available (NumPy importable)."""
+        try:
+            import numpy  # noqa: F401
+        except ImportError:  # pragma: no cover - numpy is a declared dep
+            return False
+        return True
+
+    def _prepare(self):
+        import numpy as np
+
+        params, ell = self.params, self.ell
+        num_bins = params.num_bins(ell)
+        csr = self.graph.csr()
+        universe = sorted(self.palettes.color_universe())
+        universe_array = np.asarray(universe, dtype=np.int64)
+        # Flatten every palette once, then resolve color -> universe position
+        # with one vectorized searchsorted instead of 98k dict lookups.
+        flat_colors: List[int] = []
+        for node in csr.node_ids:
+            flat_colors.extend(self.palettes.palette(node))
+        palette_sizes = np.fromiter(
+            (self.palettes.palette_size(node) for node in csr.node_ids),
+            dtype=np.int64,
+            count=len(csr.node_ids),
+        )
+        entry_indptr = np.zeros(len(csr.node_ids) + 1, dtype=np.int64)
+        np.cumsum(palette_sizes, out=entry_indptr[1:])
+        entry_nodes = np.repeat(
+            np.arange(len(csr.node_ids), dtype=np.int64), palette_sizes
+        )
+        entry_colors = np.searchsorted(
+            universe_array, np.asarray(flat_colors, dtype=np.int64)
+        )
+        self._prep = {
+            "np": np,
+            "csr": csr,
+            "universe": universe,
+            "entry_nodes": entry_nodes,
+            "entry_colors": entry_colors,
+            "entry_indptr": entry_indptr,
+            "palette_sizes": palette_sizes,
+            "num_bins": num_bins,
+            "num_color_bins": max(1, num_bins - 1),
+            "degree_slack": params.degree_slack(ell),
+            "palette_slack": params.palette_slack(ell),
+            "bin_cap": params.bin_cap(ell, self.graph.num_nodes, self.global_nodes),
+            "literal_palette": not params.is_scaled and not params.bins_are_clamped(ell),
+            "node_xs_cache": {},
+            "color_xs_cache": {},
+        }
+        return self._prep
+
+    def many(self, pairs: Sequence[Tuple[HashFunction, HashFunction]]) -> List[float]:
+        """Equation (1) costs for a batch of pairs, bit-identical to scalar.
+
+        All pairs of a batch must come from the same two hash families
+        (identical prime/domain/range), which is how the selection
+        strategies produce them.
+        """
+        if not pairs:
+            return []
+        prep = self._prep if self._prep is not None else self._prepare()
+        if prep["csr"] is not self.graph.csr():
+            # The graph was mutated after the first batch (its CSR cache was
+            # invalidated): rebuild the static arrays so the batched path
+            # keeps matching the live-state scalar path.  Palettes have no
+            # such invalidation hook — they must not be mutated while this
+            # evaluator is in use (no in-repo caller does).
+            prep = self._prepare()
+        np = prep["np"]
+        from repro.hashing import batch as hb
+
+        entries = max(
+            1,
+            len(prep["entry_nodes"]),
+            prep["csr"].num_directed_edges,
+            len(prep["universe"]),
+        )
+        slab = max(1, self.MAX_ELEMENTS // entries)
+        costs: List[float] = []
+        for start in range(0, len(pairs), slab):
+            costs.extend(self._many_slab(pairs[start : start + slab], prep, np, hb))
+        return costs
+
+    def _node_xs(self, prep, domain: int, prime: int):
+        """Node inputs ``node % domain`` as a ready array, cached per family."""
+        np = prep["np"]
+        key = (domain, prime)
+        cache = prep["node_xs_cache"]
+        if key not in cache:
+            cache[key] = np.asarray(
+                [node % domain for node in prep["csr"].node_ids], dtype=np.int64
+            )
+        return cache[key]
+
+    def _color_xs(self, prep, domain: int, prime: int):
+        np = prep["np"]
+        key = (domain, prime)
+        cache = prep["color_xs_cache"]
+        if key not in cache:
+            cache[key] = np.asarray(
+                [color % domain for color in prep["universe"]], dtype=np.int64
+            )
+        return cache[key]
+
+    def _many_slab(self, pairs, prep, np, hb) -> List[float]:
+        csr = prep["csr"]
+        num_bins = prep["num_bins"]
+        num_color_bins = prep["num_color_bins"]
+        last_bin = num_bins - 1
+        n = csr.num_nodes
+        h1_ref, h2_ref = pairs[0]
+        assert_uniform_pair_families(pairs)
+        coeffs1 = [pair[0].coefficients for pair in pairs]
+        coeffs2 = [pair[1].coefficients for pair in pairs]
+        node_xs = self._node_xs(prep, h1_ref.domain_size, h1_ref.prime)
+        color_xs = self._color_xs(prep, h2_ref.domain_size, h2_ref.prime)
+        bins1 = hb.hash_bins(coeffs1, node_xs, h1_ref.prime, h1_ref.range_size, num_bins)
+        bins2 = hb.hash_bins(
+            coeffs2, color_xs, h2_ref.prime, h2_ref.range_size, num_color_bins
+        )
+
+        bin_sizes = hb.rowwise_bincount(bins1, num_bins)
+        num_bad_bins = (bin_sizes >= prep["bin_cap"]).sum(axis=1)
+
+        # Neighbor runs and palette-entry runs are contiguous in the CSR
+        # layout, so both in-bin counts are one gather + one reduceat.
+        same_bin = bins1[:, csr.edge_sources] == bins1[:, csr.indices]
+        in_bin_degree = hb.segment_sum_rows(same_bin, csr.indptr)
+
+        entry_match = bins2[:, prep["entry_colors"]] == bins1[:, prep["entry_nodes"]]
+        in_bin_palette = hb.segment_sum_rows(entry_match, prep["entry_indptr"])
+
+        expected = csr.degrees / num_bins
+        bad = np.abs(in_bin_degree - expected) > prep["degree_slack"]
+        in_color_bin = bins1 != last_bin
+        if prep["literal_palette"]:
+            bad |= in_color_bin & (
+                in_bin_palette
+                < prep["palette_sizes"] / num_bins + prep["palette_slack"]
+            )
+        if self.params.enforce_palette_surplus:
+            bad |= in_color_bin & (in_bin_palette <= in_bin_degree)
+
+        costs = bad.sum(axis=1) + self.global_nodes * num_bad_bins
+        return [float(value) for value in costs]
+
+
 def partition_cost_function(
     graph: Graph,
     palettes: PaletteAssignment,
@@ -212,12 +436,11 @@ def partition_cost_function(
     ell: float,
     global_nodes: int,
 ) -> PairCost:
-    """The Equation (1) cost ``q(h1, h2)`` as a plain callable for selection."""
+    """The Equation (1) cost ``q(h1, h2)`` for selection.
 
-    def cost(h1: HashFunction, h2: HashFunction) -> float:
-        classification = classify_partition(
-            graph, palettes, h1, h2, params, ell, global_nodes
-        )
-        return classification.cost(global_nodes)
-
-    return cost
+    Returns a :class:`PartitionCostEvaluator`: a plain ``(h1, h2) -> float``
+    callable (the scalar reference path) that additionally exposes
+    :meth:`PartitionCostEvaluator.many` so the selection strategies can
+    score whole candidate batches as one matrix computation.
+    """
+    return PartitionCostEvaluator(graph, palettes, params, ell, global_nodes)

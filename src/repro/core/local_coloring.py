@@ -55,7 +55,7 @@ def greedy_list_coloring(
     external = already_colored or {}
     for node in order:
         blocked = set()
-        for neighbor in graph.neighbors(node):
+        for neighbor in graph.iter_neighbors(node):
             if neighbor in coloring:
                 blocked.add(coloring[neighbor])
             elif neighbor in external:

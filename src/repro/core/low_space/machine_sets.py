@@ -17,15 +17,21 @@ This module materialises the chunking deterministically (sorted neighbor /
 palette lists split into equal chunks) and classifies machines for a
 candidate hash pair; it also derives the node-level consequences used by
 Lemma 4.5 (``d'(v) < 2 d(v) n^{-δ}`` and ``d'(v) < p'(v)``).
+
+As in :mod:`repro.core.classification`, the selection cost has two
+implementations: the per-node scalar reference (:func:`node_level_outcome`)
+and the batched :class:`LowSpaceCostEvaluator` built on the vectorized hash
+kernels — bit-identical by construction and by test, so the derandomized
+selection may score candidate batches as matrix computations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.low_space.params import LowSpaceParameters
-from repro.derand.cost import PairCost
+from repro.derand.cost import PairCost, assert_uniform_pair_families
 from repro.graph.graph import Graph
 from repro.graph.palettes import PaletteAssignment
 from repro.hashing.family import HashFunction
@@ -112,7 +118,7 @@ def classify_machines(
     result = MachineClassification()
     for node in high_degree_nodes:
         node_bin = bin_of_node[node]
-        neighbors = sorted(graph.neighbors(node))
+        neighbors = sorted(graph.iter_neighbors(node))
         in_bin_degree = 0
         for chunk_items in split_into_chunks(neighbors, chunk_size):
             in_bin = sum(
@@ -210,7 +216,7 @@ def node_level_outcome(
         degree = graph.degree(node)
         d_prime = sum(
             1
-            for neighbor in graph.neighbors(node)
+            for neighbor in graph.iter_neighbors(node)
             if bin_of_node.get(neighbor, -1) == node_bin
         )
         in_bin_degree[node] = d_prime
@@ -233,6 +239,186 @@ def node_level_outcome(
     )
 
 
+class LowSpaceCostEvaluator:
+    """Lemma 4.5 violation count with scalar reference and batched kernel.
+
+    The scalar path (``__call__``) delegates to :func:`node_level_outcome`;
+    :meth:`many` scores a batch of candidate pairs with the same vectorized
+    recipe as :class:`repro.core.classification.PartitionCostEvaluator`,
+    restricted to the high-degree nodes: a ``(S, H)`` node-bin matrix, a
+    ``(S, U)`` color-bin matrix over the high nodes' palette universe, and
+    two gather + ``reduceat`` segment sums for in-bin degrees (edges with
+    *both* endpoints high — neighbors outside the partition can never share
+    a bin) and in-bin palette counts.  The per-node slack
+    ``max(d(v)^0.6, degree_slack(machine_chunk))`` is precomputed with
+    scalar Python ``pow`` so thresholds are bit-identical to the reference
+    path.  Costs returned by the two paths are exactly equal
+    (``tests/test_batch_kernels.py``).
+    """
+
+    MAX_ELEMENTS = 1 << 20
+
+    def __init__(
+        self,
+        graph: Graph,
+        palettes: PaletteAssignment,
+        high_degree_nodes: Set[NodeId],
+        params: LowSpaceParameters,
+        num_bins: int,
+    ) -> None:
+        self.graph = graph
+        self.palettes = palettes
+        self.high_degree_nodes = high_degree_nodes
+        self.params = params
+        self.num_bins = num_bins
+        self._prep = None
+
+    def __call__(self, h1: HashFunction, h2: HashFunction) -> float:
+        return node_level_outcome(
+            self.graph,
+            self.palettes,
+            self.high_degree_nodes,
+            h1,
+            h2,
+            self.params,
+            self.num_bins,
+        ).cost
+
+    @property
+    def batch_enabled(self) -> bool:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:  # pragma: no cover - numpy is a declared dep
+            return False
+        return True
+
+    def _prepare(self):
+        import numpy as np
+
+        high = sorted(self.high_degree_nodes)
+        position = {node: index for index, node in enumerate(high)}
+        edge_sources: List[int] = []
+        edge_targets: List[int] = []
+        edge_indptr = np.zeros(len(high) + 1, dtype=np.int64)
+        for index, node in enumerate(high):
+            for neighbor in sorted(self.graph.iter_neighbors(node)):
+                other = position.get(neighbor)
+                if other is not None:
+                    edge_sources.append(index)
+                    edge_targets.append(other)
+            edge_indptr[index + 1] = len(edge_sources)
+        universe = sorted(
+            {color for node in high for color in self.palettes.palette(node)}
+        )
+        color_position = {color: index for index, color in enumerate(universe)}
+        entry_nodes: List[int] = []
+        entry_colors: List[int] = []
+        entry_indptr = np.zeros(len(high) + 1, dtype=np.int64)
+        for index, node in enumerate(high):
+            for color in self.palettes.palette(node):
+                entry_nodes.append(index)
+                entry_colors.append(color_position[color])
+            entry_indptr[index + 1] = len(entry_nodes)
+        chunk_slack = self.params.degree_slack(
+            self.params.machine_chunk(self.graph.num_nodes)
+        )
+        # Scalar pow per node keeps thresholds bit-identical to the
+        # reference path (vectorized libm pow may round differently).
+        slack = np.fromiter(
+            (
+                max(self.graph.degree(node) ** 0.6, chunk_slack)
+                for node in high
+            ),
+            dtype=np.float64,
+            count=len(high),
+        )
+        degrees = np.fromiter(
+            (self.graph.degree(node) for node in high), dtype=np.int64, count=len(high)
+        )
+        self._prep = {
+            "np": np,
+            # Graph mutations are additive only (add_node/add_edge), so the
+            # (nodes, edges) pair detects any change since the arrays were
+            # built — mirroring PartitionCostEvaluator's CSR-identity guard.
+            "graph_signature": (self.graph.num_nodes, self.graph.num_edges),
+            "high": high,
+            "universe": universe,
+            "edge_sources": np.asarray(edge_sources, dtype=np.int64),
+            "edge_targets": np.asarray(edge_targets, dtype=np.int64),
+            "edge_indptr": edge_indptr,
+            "entry_nodes": np.asarray(entry_nodes, dtype=np.int64),
+            "entry_colors": np.asarray(entry_colors, dtype=np.int64),
+            "entry_indptr": entry_indptr,
+            "threshold": degrees / self.num_bins + slack,
+            "node_xs_cache": {},
+            "color_xs_cache": {},
+        }
+        return self._prep
+
+    def many(self, pairs: Sequence[Tuple[HashFunction, HashFunction]]) -> List[float]:
+        """Batched Lemma 4.5 violation counts, bit-identical to scalar."""
+        if not pairs:
+            return []
+        prep = self._prep if self._prep is not None else self._prepare()
+        if prep["graph_signature"] != (self.graph.num_nodes, self.graph.num_edges):
+            prep = self._prepare()  # graph mutated: follow the live state
+        entries = max(
+            1,
+            len(prep["entry_nodes"]),
+            len(prep["edge_sources"]),
+            len(prep["universe"]),
+            len(prep["high"]),
+        )
+        slab = max(1, self.MAX_ELEMENTS // entries)
+        costs: List[float] = []
+        for start in range(0, len(pairs), slab):
+            costs.extend(self._many_slab(pairs[start : start + slab], prep))
+        return costs
+
+    def _many_slab(self, pairs, prep) -> List[float]:
+        np = prep["np"]
+        from repro.hashing import batch as hb
+
+        h1_ref, h2_ref = pairs[0]
+        assert_uniform_pair_families(pairs)
+        num_color_bins = max(1, self.num_bins - 1)
+        last_bin = self.num_bins - 1
+        key1 = (h1_ref.domain_size, h1_ref.prime)
+        if key1 not in prep["node_xs_cache"]:
+            prep["node_xs_cache"][key1] = np.asarray(
+                [node % h1_ref.domain_size for node in prep["high"]], dtype=np.int64
+            )
+        key2 = (h2_ref.domain_size, h2_ref.prime)
+        if key2 not in prep["color_xs_cache"]:
+            prep["color_xs_cache"][key2] = np.asarray(
+                [color % h2_ref.domain_size for color in prep["universe"]],
+                dtype=np.int64,
+            )
+        bins1 = hb.hash_bins(
+            [pair[0].coefficients for pair in pairs],
+            prep["node_xs_cache"][key1],
+            h1_ref.prime,
+            h1_ref.range_size,
+            self.num_bins,
+        )
+        bins2 = hb.hash_bins(
+            [pair[1].coefficients for pair in pairs],
+            prep["color_xs_cache"][key2],
+            h2_ref.prime,
+            h2_ref.range_size,
+            num_color_bins,
+        )
+
+        same_bin = bins1[:, prep["edge_sources"]] == bins1[:, prep["edge_targets"]]
+        d_prime = hb.segment_sum_rows(same_bin, prep["edge_indptr"])
+        entry_match = bins2[:, prep["entry_colors"]] == bins1[:, prep["entry_nodes"]]
+        p_prime = hb.segment_sum_rows(entry_match, prep["entry_indptr"])
+
+        violating = d_prime > prep["threshold"]
+        violating |= (bins1 != last_bin) & (p_prime <= d_prime)
+        return [float(value) for value in violating.sum(axis=1)]
+
+
 def low_space_cost_function(
     graph: Graph,
     palettes: PaletteAssignment,
@@ -245,12 +431,8 @@ def low_space_cost_function(
     Using the node-level aggregation keeps each cost evaluation linear in the
     instance size; the machine-level classification (Equation (2) proper) is
     available via :func:`classify_machines` and is what the low-space
-    experiments report.
+    experiments report.  The returned :class:`LowSpaceCostEvaluator` is a
+    plain ``(h1, h2) -> float`` callable that additionally exposes a
+    batched ``many`` method for the vectorized selection path.
     """
-
-    def cost(h1: HashFunction, h2: HashFunction) -> float:
-        return node_level_outcome(
-            graph, palettes, high_degree_nodes, h1, h2, params, num_bins
-        ).cost
-
-    return cost
+    return LowSpaceCostEvaluator(graph, palettes, high_degree_nodes, params, num_bins)

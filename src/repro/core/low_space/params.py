@@ -37,6 +37,7 @@ class LowSpaceParameters:
     max_recursion_depth: int = 20
     selection_max_candidates: int = 2048
     selection_batch_size: int = 16
+    selection_use_batch: bool = True
     mis_independence: int = 4
 
     def __post_init__(self) -> None:

@@ -144,6 +144,7 @@ class LowSpacePartition:
             max_candidates=self.params.selection_max_candidates,
             candidate_salt=salt,
             rng_seed=salt,
+            use_batch=self.params.selection_use_batch,
         )
         wrapped_charge = None
         if charge is not None:

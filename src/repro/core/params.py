@@ -70,6 +70,10 @@ class ColorReduceParameters:
         How the hash pair is chosen (see :mod:`repro.derand`).
     selection_max_candidates / selection_chunk_bits / selection_batch_size:
         Knobs forwarded to :class:`repro.derand.HashPairSelector`.
+    selection_use_batch:
+        Score selection batches through the vectorized cost kernels
+        (bit-identical outcomes; disable to force the scalar reference
+        path, e.g. for benchmarking the kernels themselves).
     enforce_palette_surplus:
         If True (default), any node whose restricted palette does not exceed
         its in-bin degree is reclassified as bad.  With the paper exponents
@@ -95,6 +99,7 @@ class ColorReduceParameters:
     selection_chunk_bits: int = 4
     selection_batch_size: int = 16
     selection_rng_seed: int = 0
+    selection_use_batch: bool = True
     enforce_palette_surplus: bool = True
 
     def __post_init__(self) -> None:

@@ -38,6 +38,23 @@ This module implements that search plus three companions:
 
 ``RANDOM``
     A uniformly random pair (the randomized baseline being derandomized).
+
+Batched scoring
+---------------
+All deterministic strategies accept *batched* cost functions: any cost
+exposing ``many(pairs) -> values`` (e.g. the evaluators returned by
+:func:`repro.core.classification.partition_cost_function` and
+:func:`repro.core.low_space.machine_sets.low_space_cost_function`) has each
+candidate batch — a feasibility-scan batch, an exhaustive batch, or one
+chunk's candidate x completion set of the conditional-expectation search —
+scored as a single matrix computation on the vectorized hash kernels
+(:mod:`repro.hashing.batch`).  The conditional-expectation search
+additionally caches scores by full joint seed across chunks, since fixing a
+chunk makes later candidate seeds a subset of seeds already scored.
+Batched costs are required to be bit-identical to their scalar form, so the
+selected pair, its cost, and all accounting (``evaluations``,
+``rounds_charged``) are independent of the path; ``use_batch=False`` forces
+the scalar reference path.
 """
 
 from __future__ import annotations
@@ -45,7 +62,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.derand.cost import PairCost
 from repro.errors import ConfigurationError, DerandomizationError
@@ -124,6 +141,10 @@ class HashPairSelector:
         Deterministic offset mixed into the candidate-seed sequence so that
         different Partition calls examine different (but still deterministic)
         candidate orders.
+    use_batch:
+        Score candidate batches through the cost's vectorized ``many``
+        method when it offers one (see the module notes on batching below);
+        disable to force the scalar reference path, e.g. for benchmarking.
     """
 
     def __init__(
@@ -139,6 +160,7 @@ class HashPairSelector:
         max_candidates: int = 4096,
         rng_seed: int = 0,
         candidate_salt: int = 0,
+        use_batch: bool = True,
     ) -> None:
         if chunk_bits < 1:
             raise ConfigurationError("chunk_bits must be positive")
@@ -158,6 +180,7 @@ class HashPairSelector:
         self.max_candidates = max_candidates
         self.rng_seed = rng_seed
         self.candidate_salt = candidate_salt
+        self.use_batch = use_batch
 
     # ------------------------------------------------------------------
     # public API
@@ -207,10 +230,12 @@ class HashPairSelector:
         best: Optional[Tuple[float, HashFunction, HashFunction]] = None
         evaluations = 0
         steps = 0
+        batch_cost = self._batch_cost(cost)
         for batch in self._candidate_batches():
             steps += 1
-            for h1, h2 in batch:
-                value = cost(h1, h2)
+            values = batch_cost(batch) if batch_cost is not None else None
+            for index, (h1, h2) in enumerate(batch):
+                value = values[index] if values is not None else cost(h1, h2)
                 evaluations += 1
                 if best is None or value < best[0]:
                     best = (value, h1, h2)
@@ -237,10 +262,31 @@ class HashPairSelector:
         evaluations = 0
         steps = 0
         best: Optional[Tuple[float, HashFunction, HashFunction]] = None
+        batch_cost = self._batch_cost(cost)
+        probe_pending = batch_cost is not None
         for batch in self._candidate_batches():
             steps += 1
-            for h1, h2 in batch:
-                value = cost(h1, h2)
+            # One matrix computation scores the whole batch (in the model:
+            # the batch's concurrent prefix sums); the scan semantics —
+            # evaluations counted up to the first feasible candidate, in
+            # candidate order — are identical to the scalar path.  The very
+            # first candidate is probed scalar first: Lemma 3.8 makes it
+            # feasible a constant fraction of the time, and a feasible probe
+            # skips both the batch computation and the kernel's one-time
+            # array preparation (values are bit-identical either way).
+            if batch_cost is None:
+                values = None
+            elif probe_pending:
+                probe_pending = False
+                head = cost(*batch[0])
+                if target_bound is None or head <= target_bound:
+                    values = [head]  # feasible: the scan returns at index 0
+                else:
+                    values = [head] + list(batch_cost(batch[1:]))
+            else:
+                values = batch_cost(batch)
+            for index, (h1, h2) in enumerate(batch):
+                value = values[index] if values is not None else cost(h1, h2)
                 evaluations += 1
                 if best is None or value < best[0]:
                     best = (value, h1, h2)
@@ -273,20 +319,42 @@ class HashPairSelector:
         prefix = Seed.empty()
         evaluations = 0
         steps = 0
+        batch_cost = self._batch_cost(cost)
+        # Scores are cached by full joint seed across chunks: fixing the best
+        # chunk value makes the next chunk's candidate x completion seeds a
+        # subset of seeds already scored in this chunk, so cached batches
+        # shrink the matrix work of every later chunk instead of
+        # re-evaluating fixed prefixes.
+        score_cache: Dict[Tuple[int, ...], float] = {}
         while len(prefix) < total_bits:
             remaining_after = total_bits - len(prefix) - self.chunk_bits
             chunk_width = min(self.chunk_bits, total_bits - len(prefix))
             best_value: Optional[float] = None
             best_candidate = 0
-            for candidate in enumerate_chunk_values(chunk_width):
-                candidate_prefix = prefix.extended(candidate, chunk_width)
-                estimate, used = self._conditional_estimate(
-                    cost, candidate_prefix, total_bits, max(remaining_after, 0)
+            if batch_cost is not None:
+                estimates, used = self._chunk_estimates_batched(
+                    batch_cost,
+                    prefix,
+                    chunk_width,
+                    total_bits,
+                    max(remaining_after, 0),
+                    score_cache,
                 )
                 evaluations += used
-                if best_value is None or estimate < best_value:
-                    best_value = estimate
-                    best_candidate = candidate
+                for candidate, estimate in enumerate(estimates):
+                    if best_value is None or estimate < best_value:
+                        best_value = estimate
+                        best_candidate = candidate
+            else:
+                for candidate in enumerate_chunk_values(chunk_width):
+                    candidate_prefix = prefix.extended(candidate, chunk_width)
+                    estimate, used = self._conditional_estimate(
+                        cost, candidate_prefix, total_bits, max(remaining_after, 0)
+                    )
+                    evaluations += used
+                    if best_value is None or estimate < best_value:
+                        best_value = estimate
+                        best_candidate = candidate
             prefix = prefix.extended(best_candidate, chunk_width)
             steps += 1
         h1, h2 = self._pair_from_joint_seed(prefix)
@@ -312,6 +380,33 @@ class HashPairSelector:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _batch_cost(self, cost: PairCost):
+        """The cost's vectorized batch scorer, if enabled and available.
+
+        A batched cost is any callable with a ``many(pairs) -> values``
+        method returning exactly ``[cost(h1, h2) for h1, h2 in pairs]``
+        (the evaluators in :mod:`repro.core.classification` and
+        :mod:`repro.core.low_space.machine_sets` guarantee bit-identical
+        values, so selection outcomes are independent of the path taken).
+        """
+        if not self.use_batch:
+            return None
+        many = getattr(cost, "many", None)
+        if not callable(many):
+            return None
+        if not getattr(cost, "batch_enabled", True):
+            return None
+        return many
+
+    def _completions(self, remaining_bits: int):
+        """The deterministic completion set for a candidate prefix."""
+        if remaining_bits <= self.exact_completion_bits:
+            return range(1 << remaining_bits)
+        return [
+            _mix64(index + 1) & ((1 << remaining_bits) - 1)
+            for index in range(self.completion_samples)
+        ]
+
     def _conditional_estimate(
         self,
         cost: PairCost,
@@ -323,21 +418,60 @@ class HashPairSelector:
 
         Returns the estimate and the number of cost evaluations used.
         """
-        if remaining_bits <= self.exact_completion_bits:
-            completions = range(1 << remaining_bits)
-        else:
-            completions = [
-                _mix64(index + 1) & ((1 << remaining_bits) - 1)
-                for index in range(self.completion_samples)
-            ]
         total = 0.0
         count = 0
-        for completion in completions:
+        for completion in self._completions(remaining_bits):
             full = self._complete_seed(candidate_prefix, completion, total_bits)
             h1, h2 = self._pair_from_joint_seed(full)
             total += cost(h1, h2)
             count += 1
         return total / count, count
+
+    def _chunk_estimates_batched(
+        self,
+        batch_cost,
+        prefix: Seed,
+        chunk_width: int,
+        total_bits: int,
+        remaining_bits: int,
+        score_cache: Dict[Tuple[int, ...], float],
+    ) -> Tuple[List[float], int]:
+        """All candidate estimates of one chunk as one matrix computation.
+
+        Every (candidate, completion) full seed of the chunk is assembled
+        first; seeds not in ``score_cache`` are scored with a single
+        ``many`` call, and the per-candidate averages are then formed in
+        completion order — the same float additions in the same order as
+        the scalar path, so estimates (and the argmin) are bit-identical.
+        The model cost is unchanged: ``evaluations`` counts every
+        (candidate, completion) pair exactly like the scalar path, cache
+        hits included — the cache removes recomputation, not model work.
+        """
+        completions = list(self._completions(remaining_bits))
+        keys_per_candidate: List[List[Tuple[int, ...]]] = []
+        pending: Dict[Tuple[int, ...], Tuple[HashFunction, HashFunction]] = {}
+        for candidate in enumerate_chunk_values(chunk_width):
+            candidate_prefix = prefix.extended(candidate, chunk_width)
+            keys: List[Tuple[int, ...]] = []
+            for completion in completions:
+                full = self._complete_seed(candidate_prefix, completion, total_bits)
+                keys.append(full.bits)
+                if full.bits not in score_cache and full.bits not in pending:
+                    pending[full.bits] = self._pair_from_joint_seed(full)
+            keys_per_candidate.append(keys)
+        if pending:
+            fresh_keys = list(pending)
+            values = batch_cost([pending[key] for key in fresh_keys])
+            score_cache.update(zip(fresh_keys, values))
+        estimates: List[float] = []
+        used = 0
+        for keys in keys_per_candidate:
+            total = 0.0
+            for key in keys:
+                total += score_cache[key]
+                used += 1
+            estimates.append(total / len(keys))
+        return estimates, used
 
     @staticmethod
     def _complete_seed(prefix: Seed, completion_value: int, total_bits: int) -> Seed:

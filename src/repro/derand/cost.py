@@ -26,6 +26,32 @@ from repro.hashing.family import HashFunction, KWiseIndependentFamily
 PairCost = Callable[[HashFunction, HashFunction], float]
 
 
+def assert_uniform_pair_families(
+    pairs: Sequence[Tuple[HashFunction, HashFunction]],
+) -> None:
+    """Require every pair of a batch to come from the same two hash families.
+
+    The batched cost evaluators vectorize over one ``(prime, domain, range)``
+    per side, taken from the first pair; a mixed batch would be scored with
+    the wrong field and produce plausible-looking but wrong costs, so it is
+    rejected loudly instead.
+    """
+    h1_ref, h2_ref = pairs[0]
+    for h1, h2 in pairs:
+        if (h1.prime, h1.domain_size, h1.range_size) != (
+            h1_ref.prime,
+            h1_ref.domain_size,
+            h1_ref.range_size,
+        ) or (h2.prime, h2.domain_size, h2.range_size) != (
+            h2_ref.prime,
+            h2_ref.domain_size,
+            h2_ref.range_size,
+        ):
+            raise ConfigurationError(
+                "all pairs of a batch must come from the same two hash families"
+            )
+
+
 def empirical_expected_cost(
     cost: PairCost,
     family1: KWiseIndependentFamily,

@@ -5,6 +5,9 @@ per-node color palette.  This subpackage provides:
 
 * :class:`repro.graph.graph.Graph` — an adjacency-set graph with the
   operations the algorithms need (induced subgraphs, degrees, size),
+* :mod:`repro.graph.csr` — a cached array ("CSR") view of a graph used by
+  the batched cost kernels (in-bin degrees and bin sizes as
+  ``np.bincount``/scatter operations),
 * :class:`repro.graph.palettes.PaletteAssignment` — per-node palettes with
   the restriction/removal operations used by ``Partition`` and the
   palette-update steps of ``ColorReduce``,

@@ -1,0 +1,89 @@
+"""Array ("CSR") view of a :class:`repro.graph.graph.Graph`.
+
+The batched cost kernels (:mod:`repro.core.classification`,
+:mod:`repro.core.low_space.machine_sets`) need the graph as flat arrays so
+in-bin degrees, bin sizes and bad-node counts become
+``np.bincount``/scatter operations instead of per-node Python loops.  This
+module provides that view:
+
+* ``node_ids[i]`` — the graph's (arbitrary integer) node identifiers in
+  insertion order; ``position[node] == i`` inverts it,
+* ``indptr`` / ``indices`` — the usual CSR layout: the neighbors of the
+  node at position ``i`` sit at positions ``indices[indptr[i]:indptr[i+1]]``
+  (values are *positions*, not identifiers),
+* ``degrees[i]`` — ``len`` of that slice,
+* ``edge_sources`` — position of the source node of every directed edge,
+  aligned with ``indices`` (i.e. ``repeat(arange(n), degrees)``), so
+  "count neighbors in the same bin" is one boolean compare plus one
+  bincount over ``edge_sources``.
+
+Views are built once per graph and cached on the instance
+(:meth:`repro.graph.graph.Graph.csr`); any mutation invalidates the cache.
+The view itself is immutable and shares nothing with the adjacency sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class GraphCSR:
+    """Immutable array view of a graph (see the module docstring)."""
+
+    node_ids: List[NodeId]
+    position: Dict[NodeId, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    degrees: np.ndarray
+    edge_sources: np.ndarray = field(repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_directed_edges(self) -> int:
+        return int(self.indices.shape[0])
+
+
+def build_csr(adjacency: Dict[NodeId, "set"]) -> GraphCSR:
+    """Build a :class:`GraphCSR` from an adjacency-set mapping.
+
+    Neighbor lists are sorted by *position* so the layout is deterministic
+    for a given insertion order (the batched and scalar cost paths then
+    traverse edges in a fixed order).
+    """
+    node_ids = list(adjacency)
+    position = {node: index for index, node in enumerate(node_ids)}
+    num_nodes = len(node_ids)
+    degrees = np.fromiter(
+        (len(adjacency[node]) for node in node_ids), dtype=np.int64, count=num_nodes
+    )
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    edge_sources = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+    # One flat pass over the adjacency sets (dict order == node order), then
+    # a single C-level sort of (source, target) keys instead of a Python
+    # ``sorted`` per node: groups stay contiguous and targets end up sorted
+    # within each group.
+    flat = [
+        position[neighbor] for node in node_ids for neighbor in adjacency[node]
+    ]
+    indices = np.asarray(flat, dtype=np.int64)
+    if num_nodes and indices.shape[0]:
+        keys = np.sort(edge_sources * num_nodes + indices)
+        indices = keys % num_nodes
+    return GraphCSR(
+        node_ids=node_ids,
+        position=position,
+        indptr=indptr,
+        indices=indices,
+        degrees=degrees,
+        edge_sources=edge_sources,
+    )

@@ -3,7 +3,8 @@
 The congested-clique and MPC simulators, the coloring algorithms and the
 baselines all operate on this structure.  It is intentionally small: an
 adjacency-set representation with the handful of operations the paper's
-algorithms actually need (degrees, induced subgraphs, size accounting).
+algorithms actually need (degrees, induced subgraphs, size accounting),
+plus a cached array view (:meth:`Graph.csr`) for the batched cost kernels.
 
 Nodes are arbitrary hashable integers; they do *not* need to be contiguous,
 because recursive calls of ``ColorReduce`` operate on induced subgraphs that
@@ -32,7 +33,7 @@ class Graph:
         parallel edges are collapsed.
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_csr")
 
     def __init__(
         self,
@@ -40,6 +41,7 @@ class Graph:
         edges: Iterable[Edge] = (),
     ) -> None:
         self._adj: Dict[NodeId, Set[NodeId]] = {}
+        self._csr = None
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -50,14 +52,19 @@ class Graph:
     # ------------------------------------------------------------------
     def add_node(self, node: NodeId) -> None:
         """Insert ``node`` if not already present."""
-        self._adj.setdefault(node, set())
+        if node not in self._adj:
+            self._adj[node] = set()
+            self._csr = None
 
     def add_edge(self, u: NodeId, v: NodeId) -> None:
         """Insert the undirected edge ``{u, v}``, adding endpoints as needed."""
         if u == v:
             raise GraphError(f"self-loop on node {u} is not allowed")
+        if v in self._adj.get(u, ()):
+            return  # already present: keep the cached CSR view valid
         self._adj.setdefault(u, set()).add(v)
         self._adj.setdefault(v, set()).add(u)
+        self._csr = None
 
     @classmethod
     def from_edges(cls, edges: Iterable[Edge], nodes: Iterable[NodeId] = ()) -> "Graph":
@@ -128,6 +135,19 @@ class Graph:
         except KeyError as exc:
             raise GraphError(f"unknown node {node}") from exc
 
+    def iter_neighbors(self, node: NodeId) -> Iterator[NodeId]:
+        """Iterate over the neighbors of ``node`` without copying the set.
+
+        The no-copy counterpart of :meth:`neighbors` for hot loops that only
+        scan (classification, palette updates, MIS sweeps).  The iterator
+        reads the live adjacency set: do not mutate the graph while holding
+        it.
+        """
+        try:
+            return iter(self._adj[node])
+        except KeyError as exc:
+            raise GraphError(f"unknown node {node}") from exc
+
     def degree(self, node: NodeId) -> int:
         """Degree of ``node``."""
         try:
@@ -153,6 +173,20 @@ class Graph:
         threshold.
         """
         return self.num_nodes + self.num_edges
+
+    def csr(self):
+        """The cached array ("CSR") view of this graph.
+
+        Built on first use and invalidated by :meth:`add_node` /
+        :meth:`add_edge`; see :mod:`repro.graph.csr`.  The batched cost
+        kernels use it to turn per-node classification loops into
+        ``np.bincount``/scatter operations.
+        """
+        if self._csr is None:
+            from repro.graph.csr import build_csr
+
+            self._csr = build_csr(self._adj)
+        return self._csr
 
     # ------------------------------------------------------------------
     # derived graphs

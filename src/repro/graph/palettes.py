@@ -159,7 +159,7 @@ class PaletteAssignment:
             if node not in graph:
                 continue
             palette = self._palettes[node]
-            for neighbor in graph.neighbors(node):
+            for neighbor in graph.iter_neighbors(node):
                 used = coloring.get(neighbor)
                 if used is not None and used in palette:
                     palette.discard(used)

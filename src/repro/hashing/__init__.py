@@ -8,6 +8,9 @@ conditional expectations.  This subpackage provides the family construction:
 * :mod:`repro.hashing.field` — arithmetic in a prime field,
 * :mod:`repro.hashing.family` — exactly ``k``-wise independent polynomial
   hash families with explicit ``O(log n)``-bit seeds,
+* :mod:`repro.hashing.batch` — vectorized (NumPy) batch evaluation of the
+  polynomial families: bit-identical to the scalar path, used to score
+  whole candidate batches of the derandomized seed search at once,
 * :mod:`repro.hashing.seeds` — seed/bit-chunk bookkeeping used by the
   conditional-expectation search,
 * :mod:`repro.hashing.concentration` — the Bellare–Rompel tail bound

@@ -1,0 +1,226 @@
+"""Vectorized (batched) evaluation of the polynomial hash families.
+
+The derandomized seed search evaluates a degree-``(k-1)`` polynomial over
+``F_p`` *per node, per candidate seed* — the dominant cost of every
+experiment.  The computation is embarrassingly data-parallel: for a batch of
+``S`` candidate seeds (coefficient vectors) and ``m`` inputs, all ``S * m``
+hash values are one Horner recurrence over a ``(S, m)`` array.  This module
+provides that kernel; :class:`repro.hashing.family.HashFunction.hash_many`
+and :meth:`repro.hashing.family.KWiseIndependentFamily.hash_candidates` are
+the object-level entry points, and the batched cost evaluators in
+:mod:`repro.core.classification` / :mod:`repro.core.low_space.machine_sets`
+build on it.
+
+Substitution rule (scalar vs. batch)
+------------------------------------
+The batch kernels are *exact* drop-in replacements for the scalar path: for
+any coefficients, inputs and prime they return bit-identical values to
+:func:`repro.hashing.field.evaluate_polynomial` (and therefore identical
+bins after range reduction).  Two arithmetic regimes make this work:
+
+* ``p < 2**31`` — every Horner step computes ``acc * x + c <= (p-1) * p``
+  which fits in ``int64``; the kernel runs on ``int64`` arrays.
+* larger primes (notably the Mersenne prime ``2**61 - 1``) — ``int64``
+  would overflow, so the kernel switches to ``object``-dtype arrays of
+  Python ints: still one vectorized Horner recurrence per coefficient, with
+  exact arbitrary-precision arithmetic.
+
+Every batched consumer in this repository asserts equivalence against the
+scalar reference in ``tests/test_batch_kernels.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import HashFamilyError
+
+#: Largest prime for which the int64 Horner step cannot overflow:
+#: ``acc * x + c <= (p - 1) * p < 2**62`` requires ``p < 2**31``.
+INT64_SAFE_PRIME = 1 << 31
+
+ArrayLike = Union[Sequence[int], np.ndarray]
+
+
+def _as_input_array(xs: ArrayLike, prime: int) -> np.ndarray:
+    """Inputs as a 1-D array reduced mod ``prime`` (int64 or object)."""
+    dtype = np.int64 if prime < INT64_SAFE_PRIME else object
+    arr = np.atleast_1d(np.asarray(xs, dtype=dtype))
+    return arr % prime
+
+
+def evaluate_polynomial_many(
+    coefficients: ArrayLike, xs: ArrayLike, prime: int
+) -> np.ndarray:
+    """Vectorized Horner evaluation of one or many polynomials over ``F_p``.
+
+    Parameters
+    ----------
+    coefficients:
+        Either a single coefficient vector of shape ``(k,)`` (constant term
+        first, matching :func:`repro.hashing.field.evaluate_polynomial`) or a
+        matrix of shape ``(num_seeds, k)`` holding one candidate seed's
+        coefficients per row.
+    xs:
+        Evaluation points, shape ``(m,)``.
+    prime:
+        The field modulus.
+
+    Returns
+    -------
+    ``(m,)`` array for a single coefficient vector, ``(num_seeds, m)``
+    matrix otherwise; entries equal ``evaluate_polynomial(coeffs, x, prime)``
+    exactly.
+    """
+    if prime < 2:
+        raise HashFamilyError("prime must be at least 2")
+    exact = prime >= INT64_SAFE_PRIME
+    dtype = object if exact else np.int64
+    # Reduce coefficients mod p with exact (object) arithmetic before
+    # narrowing: like the scalar reference, unreduced coefficients — even
+    # ones beyond int64 — must not overflow the Horner step.  Coefficient
+    # matrices are tiny ((num_seeds, k)), so the object pass is cheap.
+    coeffs = (np.asarray(coefficients, dtype=object) % prime).astype(dtype)
+    if coeffs.ndim not in (1, 2):
+        raise HashFamilyError(
+            f"coefficients must be 1- or 2-dimensional, got shape {coeffs.shape}"
+        )
+    single = coeffs.ndim == 1
+    if single:
+        coeffs = coeffs.reshape(1, -1)
+    points = _as_input_array(xs, prime)
+    num_seeds, degree_plus_one = coeffs.shape
+    if degree_plus_one == 0:
+        zeros = np.zeros((num_seeds, points.shape[0]), dtype=dtype)
+        return zeros[0] if single else zeros
+    # Horner, highest-degree coefficient first; one (S, m) multiply-add per
+    # coefficient, reduced mod p at every step so int64 never overflows.
+    acc = np.broadcast_to(
+        coeffs[:, degree_plus_one - 1].reshape(num_seeds, 1) % prime,
+        (num_seeds, points.shape[0]),
+    ).copy()
+    for index in range(degree_plus_one - 2, -1, -1):
+        acc = (acc * points + coeffs[:, index].reshape(num_seeds, 1)) % prime
+    return acc[0] if single else acc
+
+
+def range_reduce_many(values: np.ndarray, range_size: int, prime: int) -> np.ndarray:
+    """Interval range reduction ``(value * range_size) // prime``, vectorized.
+
+    Matches :meth:`repro.hashing.family.HashFunction.__call__` exactly; for
+    ``prime < 2**31`` the product stays below ``2**62`` so int64 suffices,
+    otherwise the values are already ``object`` dtype (exact Python ints).
+    """
+    reduced = (values * range_size) // prime
+    if reduced.dtype == object:
+        return np.asarray(reduced.tolist(), dtype=np.int64).reshape(reduced.shape)
+    return reduced
+
+
+def hash_many(
+    coefficients: ArrayLike,
+    xs: ArrayLike,
+    prime: int,
+    range_size: int,
+) -> np.ndarray:
+    """Hash all ``xs`` into ``[range_size]``: evaluation plus range reduction."""
+    return range_reduce_many(
+        evaluate_polynomial_many(coefficients, xs, prime), range_size, prime
+    )
+
+
+def hash_bins(
+    coefficients: ArrayLike,
+    xs: ArrayLike,
+    prime: int,
+    range_size: int,
+    num_bins: int,
+) -> np.ndarray:
+    """Candidate-by-input bin matrix, reduced ``% num_bins`` and narrowed.
+
+    The shared front half of both batched cost evaluators: vectorized hash
+    into ``[range_size]``, the scalar paths' defensive ``% num_bins``, and
+    dtype narrowing for the memory-bound gathers that follow.
+    """
+    return narrow_bins(hash_many(coefficients, xs, prime, range_size) % num_bins, num_bins)
+
+
+def narrow_bins(bins: np.ndarray, num_bins: int) -> np.ndarray:
+    """Narrow a bin-label matrix to the smallest safe integer dtype.
+
+    The cost kernels' gathers are memory-bound; int8 moves an eighth of the
+    bytes of int64.  Shared by the Equation (1) and Equation (2) evaluators
+    so the dtype thresholds cannot drift apart.
+    """
+    if num_bins < 127:
+        return bins.astype(np.int8)
+    if num_bins < 32767:
+        return bins.astype(np.int16)
+    return bins
+
+
+def rowwise_bincount(values: np.ndarray, num_values: int) -> np.ndarray:
+    """Per-row histogram of a ``(num_rows, m)`` integer matrix.
+
+    ``values[r, j]`` increments bucket ``result[r, values[r, j]]``.
+    Implemented as a single flattened :func:`numpy.bincount` with per-row
+    offsets — the scatter primitive the batched cost kernels use for bin
+    sizes.  (Segmented sums over the CSR layout use the faster
+    :func:`segment_sum_rows` instead.)
+    """
+    if values.ndim != 2:
+        raise HashFamilyError("values must be a 2-D matrix")
+    num_rows, width = values.shape
+    if width == 0:
+        return np.zeros((num_rows, num_values), dtype=np.int64)
+    offsets = (np.arange(num_rows, dtype=np.int64) * num_values).reshape(num_rows, 1)
+    flat = (values + offsets).ravel()
+    counts = np.bincount(flat, minlength=num_rows * num_values)
+    return counts.reshape(num_rows, num_values).astype(np.int64)
+
+
+def segment_sum_rows(matrix: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Sum contiguous column segments of a ``(num_rows, m)`` matrix, per row.
+
+    ``indptr`` is a CSR-style boundary array of shape ``(n + 1,)`` with
+    ``indptr[-1] == m``; the result has shape ``(num_rows, n)`` with
+    ``result[r, i] == matrix[r, indptr[i]:indptr[i+1]].sum()``.
+
+    This is the fast path for in-bin degree / in-bin palette counts: the CSR
+    view lays out every node's incident edges (and palette entries)
+    contiguously, so one :func:`numpy.add.reduceat` per batch replaces a
+    Python loop over nodes.  ``np.add`` on bools is logical-or, so boolean
+    input is reinterpreted as integers first: a free ``int8`` view when the
+    longest segment is short enough not to overflow (the common case —
+    segment sums are bounded by node degrees), otherwise a widening copy.
+    Empty segments — where ``reduceat`` would echo a stray element instead
+    of 0 — are zeroed explicitly.
+    """
+    num_rows, width = matrix.shape
+    num_segments = indptr.shape[0] - 1
+    if num_segments <= 0:
+        return np.zeros((num_rows, 0), dtype=np.int64)
+    if width == 0:
+        return np.zeros((num_rows, num_segments), dtype=np.int64)
+    summable = matrix
+    if matrix.dtype == np.bool_:
+        longest = int(np.max(indptr[1:] - indptr[:-1]))
+        if longest < 127:
+            summable = matrix.view(np.int8)
+        elif longest < 32767:
+            summable = matrix.astype(np.int16)
+        else:
+            summable = matrix.astype(np.int32)
+    # ``reduceat`` mishandles empty segments (it echoes a stray element and
+    # would shift its neighbors' boundaries), so reduce over the non-empty
+    # segments only: they tile [0, width) contiguously, making their start
+    # indices strictly increasing — exactly what reduceat requires.
+    nonempty = indptr[1:] > indptr[:-1]
+    if nonempty.all():
+        return np.add.reduceat(summable, indptr[:-1], axis=1)
+    sums = np.zeros((num_rows, num_segments), dtype=summable.dtype)
+    if nonempty.any():
+        sums[:, nonempty] = np.add.reduceat(summable, indptr[:-1][nonempty], axis=1)
+    return sums

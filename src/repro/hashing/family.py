@@ -41,19 +41,44 @@ class HashFunction:
     range_size: int
     seed: Seed
 
+    def __post_init__(self) -> None:
+        # Normalize once so evaluation never rebuilds a list per call (the
+        # selection loop evaluates this polynomial millions of times).
+        object.__setattr__(self, "coefficients", tuple(self.coefficients))
+
     def __call__(self, x: int) -> int:
         """Hash ``x`` into ``[range_size]``."""
         if x < 0 or x >= self.domain_size:
             raise HashFamilyError(
                 f"input {x} outside the domain [0, {self.domain_size})"
             )
-        value = evaluate_polynomial(list(self.coefficients), x % self.prime, self.prime)
+        value = evaluate_polynomial(self.coefficients, x % self.prime, self.prime)
         # Interval range-reduction: intervals of [p] of size differing by <= 1.
         return (value * self.range_size) // self.prime
 
     def field_value(self, x: int) -> int:
         """The raw field output before range reduction (exactly uniform)."""
-        return evaluate_polynomial(list(self.coefficients), x % self.prime, self.prime)
+        return evaluate_polynomial(self.coefficients, x % self.prime, self.prime)
+
+    def hash_many(self, xs: Sequence[int]) -> "np.ndarray":
+        """Vectorized :meth:`__call__`: hash every input into ``[range_size]``.
+
+        Bit-identical to the scalar path (see :mod:`repro.hashing.batch` for
+        the substitution rule); inputs are reduced ``mod domain_size`` like
+        the batched cost kernels do for out-of-domain identifiers.
+        """
+        from repro.hashing import batch
+
+        points = [x % self.domain_size for x in xs]
+        return batch.hash_many(self.coefficients, points, self.prime, self.range_size)
+
+    def field_values_many(self, xs: Sequence[int]) -> "np.ndarray":
+        """Vectorized :meth:`field_value` (raw field outputs, no reduction)."""
+        from repro.hashing import batch
+
+        return batch.evaluate_polynomial_many(
+            self.coefficients, [x % self.prime for x in xs], self.prime
+        )
 
     @property
     def seed_bits(self) -> int:
@@ -156,6 +181,28 @@ class KWiseIndependentFamily:
         """Deterministically enumerate the members for the given seed integers."""
         for value in seed_ints:
             yield self.from_seed_int(value)
+
+    def coefficient_matrix(self, seed_ints: Sequence[int]) -> List[List[int]]:
+        """Coefficient rows for a batch of seed integers (one row per seed)."""
+        return [
+            list(self.from_seed_int(value).coefficients) for value in seed_ints
+        ]
+
+    def hash_candidates(self, seed_ints: Sequence[int], xs: Sequence[int]) -> "np.ndarray":
+        """Bin matrix of shape ``(num_seeds, num_xs)`` for candidate seeds.
+
+        Row ``s`` equals ``[self.from_seed_int(seed_ints[s])(x % domain) for
+        x in xs]`` exactly — the batched form of evaluating every candidate
+        of a selection batch on every input at once (the paper's
+        ``n^Ω(1)`` concurrent prefix sums of Section 2.1, realised as one
+        vectorized Horner recurrence; see :mod:`repro.hashing.batch`).
+        """
+        from repro.hashing import batch
+
+        points = [x % self.domain_size for x in xs]
+        return batch.hash_many(
+            self.coefficient_matrix(seed_ints), points, self.prime, self.range_size
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

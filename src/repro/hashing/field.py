@@ -15,7 +15,7 @@ the conditional-expectation search cheaper, matching the paper's
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.errors import HashFamilyError
 
@@ -119,10 +119,12 @@ def choose_field_prime(domain_size: int) -> int:
     return next_prime_at_least(max(domain_size, 2))
 
 
-def evaluate_polynomial(coefficients: List[int], x: int, prime: int) -> int:
+def evaluate_polynomial(coefficients: Sequence[int], x: int, prime: int) -> int:
     """Evaluate ``sum_i coefficients[i] * x^i  (mod prime)`` by Horner's rule.
 
-    ``coefficients[0]`` is the constant term.
+    ``coefficients[0]`` is the constant term.  This is the scalar reference
+    implementation; :func:`repro.hashing.batch.evaluate_polynomial_many` is
+    the bit-identical vectorized form used by the batched cost kernels.
     """
     acc = 0
     for coefficient in reversed(coefficients):

@@ -84,7 +84,7 @@ def deterministic_mis(
     silently looping).
     """
     alive: Set[NodeId] = set(graph.nodes())
-    neighbors: Dict[NodeId, Set[NodeId]] = {node: graph.neighbors(node) for node in alive}
+    neighbors: Dict[NodeId, Set[NodeId]] = {node: set(graph.iter_neighbors(node)) for node in alive}
     chosen: Set[NodeId] = set()
     if max_phases is None:
         max_phases = 8 * max(1, graph.num_nodes.bit_length()) + 8

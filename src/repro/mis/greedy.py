@@ -21,5 +21,5 @@ def greedy_mis(graph: Graph, order: Optional[Iterable[NodeId]] = None) -> Set[No
         if node in blocked or node in chosen:
             continue
         chosen.add(node)
-        blocked.update(graph.neighbors(node))
+        blocked.update(graph.iter_neighbors(node))
     return chosen

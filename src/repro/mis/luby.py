@@ -39,7 +39,7 @@ def luby_mis(graph: Graph, seed: Optional[int] = None, max_phases: Optional[int]
     """
     rng = random.Random(seed)
     alive: Set[NodeId] = set(graph.nodes())
-    neighbors: Dict[NodeId, Set[NodeId]] = {node: graph.neighbors(node) for node in alive}
+    neighbors: Dict[NodeId, Set[NodeId]] = {node: set(graph.iter_neighbors(node)) for node in alive}
     chosen: Set[NodeId] = set()
     if max_phases is None:
         max_phases = 4 * max(1, graph.num_nodes.bit_length()) + 8

@@ -13,7 +13,7 @@ def is_independent_set(graph: Graph, nodes: Iterable[NodeId]) -> bool:
     """Whether no two nodes of ``nodes`` are adjacent in ``graph``."""
     chosen: Set[NodeId] = set(nodes)
     for node in chosen:
-        if any(neighbor in chosen for neighbor in graph.neighbors(node)):
+        if any(neighbor in chosen for neighbor in graph.iter_neighbors(node)):
             return False
     return True
 
@@ -26,7 +26,7 @@ def is_maximal_independent_set(graph: Graph, nodes: Iterable[NodeId]) -> bool:
     for node in graph.nodes():
         if node in chosen:
             continue
-        if not any(neighbor in chosen for neighbor in graph.neighbors(node)):
+        if not any(neighbor in chosen for neighbor in graph.iter_neighbors(node)):
             return False
     return True
 
@@ -35,7 +35,7 @@ def assert_maximal_independent_set(graph: Graph, nodes: Iterable[NodeId]) -> Non
     """Raise :class:`ReproError` unless ``nodes`` is a maximal independent set."""
     chosen: Set[NodeId] = set(nodes)
     for node in chosen:
-        for neighbor in graph.neighbors(node):
+        for neighbor in graph.iter_neighbors(node):
             if neighbor in chosen:
                 raise ReproError(
                     f"nodes {node} and {neighbor} are adjacent but both in the set"
@@ -43,5 +43,5 @@ def assert_maximal_independent_set(graph: Graph, nodes: Iterable[NodeId]) -> Non
     for node in graph.nodes():
         if node in chosen:
             continue
-        if not any(neighbor in chosen for neighbor in graph.neighbors(node)):
+        if not any(neighbor in chosen for neighbor in graph.iter_neighbors(node)):
             raise ReproError(f"node {node} could be added: the set is not maximal")
