@@ -36,12 +36,13 @@ identical selected seeds end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.core.params import ColorReduceParameters
-from repro.derand.cost import PairCost, assert_uniform_pair_families
+from repro.derand.cost import PairCost
 from repro.graph.graph import Graph
 from repro.graph.palettes import PaletteAssignment
+from repro.hashing.batch import BatchCostEvaluatorBase
 from repro.hashing.family import HashFunction
 from repro.types import BinIndex, Color, NodeId
 
@@ -226,12 +227,13 @@ def classify_partition(
     return classification
 
 
-class PartitionCostEvaluator:
+class PartitionCostEvaluator(BatchCostEvaluatorBase):
     """Equation (1) cost with a scalar reference path and a batched kernel.
 
     Calling the evaluator with a single pair runs the per-node reference
-    implementation (:func:`classify_partition`).  :meth:`many` scores a whole
-    batch of candidate pairs as one matrix computation:
+    implementation (:func:`classify_partition`).  :meth:`many` (inherited
+    scaffolding from :class:`repro.hashing.batch.BatchCostEvaluatorBase`)
+    scores a whole batch of candidate pairs as one matrix computation:
 
     1. ``bins1``: a ``(S, n)`` node-bin matrix from the vectorized Horner
        kernel (one row per candidate seed),
@@ -249,13 +251,6 @@ class PartitionCostEvaluator:
     and every conditional-expectation chunk of the selection.
     """
 
-    #: Soft cap on elements per intermediate matrix; batches are sliced into
-    #: slabs so ``slab_rows * max(num_palette_entries, num_directed_edges)``
-    #: stays below this.  Deliberately small: the gather/compare/reduceat
-    #: pipeline is memory-bound, and slabs whose intermediates fit in cache
-    #: are several times faster than one monolithic batch.
-    MAX_ELEMENTS = 1 << 20
-
     def __init__(
         self,
         graph: Graph,
@@ -264,12 +259,12 @@ class PartitionCostEvaluator:
         ell: float,
         global_nodes: int,
     ) -> None:
+        super().__init__()
         self.graph = graph
         self.palettes = palettes
         self.params = params
         self.ell = ell
         self.global_nodes = global_nodes
-        self._prep = None
 
     # -- scalar reference path -----------------------------------------
     def __call__(self, h1: HashFunction, h2: HashFunction) -> float:
@@ -279,15 +274,6 @@ class PartitionCostEvaluator:
         return classification.cost(self.global_nodes)
 
     # -- batched path ---------------------------------------------------
-    @property
-    def batch_enabled(self) -> bool:
-        """Whether the vectorized kernel is available (NumPy importable)."""
-        try:
-            import numpy  # noqa: F401
-        except ImportError:  # pragma: no cover - numpy is a declared dep
-            return False
-        return True
-
     def _prepare(self):
         import numpy as np
 
@@ -333,74 +319,32 @@ class PartitionCostEvaluator:
         }
         return self._prep
 
-    def many(self, pairs: Sequence[Tuple[HashFunction, HashFunction]]) -> List[float]:
-        """Equation (1) costs for a batch of pairs, bit-identical to scalar.
+    def _prep_is_stale(self, prep) -> bool:
+        # The graph was mutated after the first batch (its CSR cache was
+        # invalidated): rebuild the static arrays so the batched path keeps
+        # matching the live-state scalar path.  Palettes have no such
+        # invalidation hook — they must not be mutated while this evaluator
+        # is in use (no in-repo caller does).
+        return prep["csr"] is not self.graph.csr()
 
-        All pairs of a batch must come from the same two hash families
-        (identical prime/domain/range), which is how the selection
-        strategies produce them.
-        """
-        if not pairs:
-            return []
-        prep = self._prep if self._prep is not None else self._prepare()
-        if prep["csr"] is not self.graph.csr():
-            # The graph was mutated after the first batch (its CSR cache was
-            # invalidated): rebuild the static arrays so the batched path
-            # keeps matching the live-state scalar path.  Palettes have no
-            # such invalidation hook — they must not be mutated while this
-            # evaluator is in use (no in-repo caller does).
-            prep = self._prepare()
-        np = prep["np"]
-        from repro.hashing import batch as hb
-
-        entries = max(
+    def _slab_entries(self, prep) -> int:
+        return max(
             1,
             len(prep["entry_nodes"]),
             prep["csr"].num_directed_edges,
             len(prep["universe"]),
         )
-        slab = max(1, self.MAX_ELEMENTS // entries)
-        costs: List[float] = []
-        for start in range(0, len(pairs), slab):
-            costs.extend(self._many_slab(pairs[start : start + slab], prep, np, hb))
-        return costs
 
-    def _node_xs(self, prep, domain: int, prime: int):
-        """Node inputs ``node % domain`` as a ready array, cached per family."""
+    def _many_slab(self, pairs, prep) -> List[float]:
         np = prep["np"]
-        key = (domain, prime)
-        cache = prep["node_xs_cache"]
-        if key not in cache:
-            cache[key] = np.asarray(
-                [node % domain for node in prep["csr"].node_ids], dtype=np.int64
-            )
-        return cache[key]
+        from repro.hashing import batch as hb
 
-    def _color_xs(self, prep, domain: int, prime: int):
-        np = prep["np"]
-        key = (domain, prime)
-        cache = prep["color_xs_cache"]
-        if key not in cache:
-            cache[key] = np.asarray(
-                [color % domain for color in prep["universe"]], dtype=np.int64
-            )
-        return cache[key]
-
-    def _many_slab(self, pairs, prep, np, hb) -> List[float]:
         csr = prep["csr"]
         num_bins = prep["num_bins"]
         num_color_bins = prep["num_color_bins"]
         last_bin = num_bins - 1
-        n = csr.num_nodes
-        h1_ref, h2_ref = pairs[0]
-        assert_uniform_pair_families(pairs)
-        coeffs1 = [pair[0].coefficients for pair in pairs]
-        coeffs2 = [pair[1].coefficients for pair in pairs]
-        node_xs = self._node_xs(prep, h1_ref.domain_size, h1_ref.prime)
-        color_xs = self._color_xs(prep, h2_ref.domain_size, h2_ref.prime)
-        bins1 = hb.hash_bins(coeffs1, node_xs, h1_ref.prime, h1_ref.range_size, num_bins)
-        bins2 = hb.hash_bins(
-            coeffs2, color_xs, h2_ref.prime, h2_ref.range_size, num_color_bins
+        bins1, bins2 = self._slab_bin_matrices(
+            pairs, prep, num_bins, num_color_bins, csr.node_ids, prep["universe"]
         )
 
         bin_sizes = hb.rowwise_bincount(bins1, num_bins)

@@ -374,7 +374,7 @@ class ColorReduce:
         capacity: int,
     ) -> List[Graph]:
         """Split an oversized instance into induced subgraphs that fit locally."""
-        pieces: List[Graph] = []
+        piece_nodes: List[List[NodeId]] = []
         current: List[NodeId] = []
         current_words = 0
         for node in sorted(graph.nodes()):
@@ -382,14 +382,18 @@ class ColorReduce:
             if not state.palettes_are_implicit:
                 node_words += min(palettes.palette_size(node), graph.degree(node) + 1)
             if current and current_words + node_words > capacity:
-                pieces.append(graph.induced_subgraph(current))
+                piece_nodes.append(current)
                 current = []
                 current_words = 0
             current.append(node)
             current_words += node_words
         if current:
-            pieces.append(graph.induced_subgraph(current))
-        return pieces
+            piece_nodes.append(current)
+        # One batched extraction for all pieces (they are disjoint chunks);
+        # the scalar reference path is forced when graph_use_batch is off.
+        return graph.induced_subgraphs(
+            piece_nodes, use_csr=self.params.graph_use_batch
+        )
 
     def _collect_words(
         self, graph: Graph, palettes: PaletteAssignment, state: "_RunState"

@@ -28,12 +28,13 @@ selection may score candidate batches as matrix computations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from repro.core.low_space.params import LowSpaceParameters
-from repro.derand.cost import PairCost, assert_uniform_pair_families
+from repro.derand.cost import PairCost
 from repro.graph.graph import Graph
 from repro.graph.palettes import PaletteAssignment
+from repro.hashing.batch import BatchCostEvaluatorBase
 from repro.hashing.family import HashFunction
 from repro.types import BinIndex, Color, NodeId
 
@@ -239,12 +240,14 @@ def node_level_outcome(
     )
 
 
-class LowSpaceCostEvaluator:
+class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
     """Lemma 4.5 violation count with scalar reference and batched kernel.
 
     The scalar path (``__call__``) delegates to :func:`node_level_outcome`;
-    :meth:`many` scores a batch of candidate pairs with the same vectorized
-    recipe as :class:`repro.core.classification.PartitionCostEvaluator`,
+    :meth:`many` (inherited scaffolding from
+    :class:`repro.hashing.batch.BatchCostEvaluatorBase`) scores a batch of
+    candidate pairs with the same vectorized recipe as
+    :class:`repro.core.classification.PartitionCostEvaluator`,
     restricted to the high-degree nodes: a ``(S, H)`` node-bin matrix, a
     ``(S, U)`` color-bin matrix over the high nodes' palette universe, and
     two gather + ``reduceat`` segment sums for in-bin degrees (edges with
@@ -256,8 +259,6 @@ class LowSpaceCostEvaluator:
     (``tests/test_batch_kernels.py``).
     """
 
-    MAX_ELEMENTS = 1 << 20
-
     def __init__(
         self,
         graph: Graph,
@@ -266,12 +267,12 @@ class LowSpaceCostEvaluator:
         params: LowSpaceParameters,
         num_bins: int,
     ) -> None:
+        super().__init__()
         self.graph = graph
         self.palettes = palettes
         self.high_degree_nodes = high_degree_nodes
         self.params = params
         self.num_bins = num_bins
-        self._prep = None
 
     def __call__(self, h1: HashFunction, h2: HashFunction) -> float:
         return node_level_outcome(
@@ -283,14 +284,6 @@ class LowSpaceCostEvaluator:
             self.params,
             self.num_bins,
         ).cost
-
-    @property
-    def batch_enabled(self) -> bool:
-        try:
-            import numpy  # noqa: F401
-        except ImportError:  # pragma: no cover - numpy is a declared dep
-            return False
-        return True
 
     def _prepare(self):
         import numpy as np
@@ -355,58 +348,26 @@ class LowSpaceCostEvaluator:
         }
         return self._prep
 
-    def many(self, pairs: Sequence[Tuple[HashFunction, HashFunction]]) -> List[float]:
-        """Batched Lemma 4.5 violation counts, bit-identical to scalar."""
-        if not pairs:
-            return []
-        prep = self._prep if self._prep is not None else self._prepare()
-        if prep["graph_signature"] != (self.graph.num_nodes, self.graph.num_edges):
-            prep = self._prepare()  # graph mutated: follow the live state
-        entries = max(
+    def _prep_is_stale(self, prep) -> bool:
+        # Graph mutated since the arrays were built: follow the live state.
+        return prep["graph_signature"] != (self.graph.num_nodes, self.graph.num_edges)
+
+    def _slab_entries(self, prep) -> int:
+        return max(
             1,
             len(prep["entry_nodes"]),
             len(prep["edge_sources"]),
             len(prep["universe"]),
             len(prep["high"]),
         )
-        slab = max(1, self.MAX_ELEMENTS // entries)
-        costs: List[float] = []
-        for start in range(0, len(pairs), slab):
-            costs.extend(self._many_slab(pairs[start : start + slab], prep))
-        return costs
 
     def _many_slab(self, pairs, prep) -> List[float]:
-        np = prep["np"]
         from repro.hashing import batch as hb
 
-        h1_ref, h2_ref = pairs[0]
-        assert_uniform_pair_families(pairs)
         num_color_bins = max(1, self.num_bins - 1)
         last_bin = self.num_bins - 1
-        key1 = (h1_ref.domain_size, h1_ref.prime)
-        if key1 not in prep["node_xs_cache"]:
-            prep["node_xs_cache"][key1] = np.asarray(
-                [node % h1_ref.domain_size for node in prep["high"]], dtype=np.int64
-            )
-        key2 = (h2_ref.domain_size, h2_ref.prime)
-        if key2 not in prep["color_xs_cache"]:
-            prep["color_xs_cache"][key2] = np.asarray(
-                [color % h2_ref.domain_size for color in prep["universe"]],
-                dtype=np.int64,
-            )
-        bins1 = hb.hash_bins(
-            [pair[0].coefficients for pair in pairs],
-            prep["node_xs_cache"][key1],
-            h1_ref.prime,
-            h1_ref.range_size,
-            self.num_bins,
-        )
-        bins2 = hb.hash_bins(
-            [pair[1].coefficients for pair in pairs],
-            prep["color_xs_cache"][key2],
-            h2_ref.prime,
-            h2_ref.range_size,
-            num_color_bins,
+        bins1, bins2 = self._slab_bin_matrices(
+            pairs, prep, self.num_bins, num_color_bins, prep["high"], prep["universe"]
         )
 
         same_bin = bins1[:, prep["edge_sources"]] == bins1[:, prep["edge_targets"]]

@@ -38,6 +38,10 @@ class LowSpaceParameters:
     selection_max_candidates: int = 2048
     selection_batch_size: int = 16
     selection_use_batch: bool = True
+    #: Materialise bin instances through the CSR-backed extraction kernels
+    #: (bit-identical to the scalar reference; see
+    #: :attr:`repro.core.params.ColorReduceParameters.graph_use_batch`).
+    graph_use_batch: bool = True
     mis_independence: int = 4
 
     def __post_init__(self) -> None:

@@ -92,7 +92,9 @@ class LowSpacePartition:
             node for node in graph.nodes() if graph.degree(node) <= threshold
         }
         high_degree_nodes: Set[NodeId] = set(graph.nodes()).difference(low_degree_nodes)
-        low_degree_graph = graph.induced_subgraph(low_degree_nodes)
+        low_degree_graph = graph.induced_subgraph(
+            low_degree_nodes, use_csr=self.params.graph_use_batch
+        )
 
         if not high_degree_nodes:
             # Nothing to partition: every node takes the MIS path.
@@ -173,10 +175,21 @@ class LowSpacePartition:
         # Build the bin instances.  Nodes that still violate the conditions
         # (possible only in scaled mode, within the small allowance) are
         # routed to the low-degree/MIS path so correctness never depends on
-        # the concentration argument.
+        # the concentration argument.  All subgraphs of the level — the
+        # MIS-path graph plus every bin — are sliced in one batched pass
+        # over the (already warm) CSR view; graph_use_batch off forces the
+        # scalar reference extraction with identical results.
         violating = outcome.violating_nodes
         usable = high_degree_nodes.difference(violating)
-        low_degree_graph = graph.induced_subgraph(low_degree_nodes.union(violating))
+        bin_members = [
+            [node for node in usable if outcome.bin_of_node[node] == bin_index]
+            for bin_index in range(num_bins)
+        ]
+        subgraphs = graph.induced_subgraphs(
+            [low_degree_nodes.union(violating)] + bin_members,
+            use_csr=self.params.graph_use_batch,
+        )
+        low_degree_graph = subgraphs[0]
 
         color_bin_cache: Dict[int, BinIndex] = {}
 
@@ -187,24 +200,21 @@ class LowSpacePartition:
 
         color_bins: List[ColorBinInstance] = []
         for bin_index in range(num_color_bins):
-            members = [
-                node
-                for node in usable
-                if outcome.bin_of_node[node] == bin_index
-            ]
-            bin_graph = graph.induced_subgraph(members)
+            members = bin_members[bin_index]
             bin_palettes = palettes.restricted_to(
                 members, keep_color=lambda color, b=bin_index: color_bin(color) == b
             )
             color_bins.append(
-                ColorBinInstance(bin_index=bin_index, graph=bin_graph, palettes=bin_palettes)
+                ColorBinInstance(
+                    bin_index=bin_index,
+                    graph=subgraphs[1 + bin_index],
+                    palettes=bin_palettes,
+                )
             )
-        leftover_members = [
-            node for node in usable if outcome.bin_of_node[node] == last_bin
-        ]
+        leftover_members = bin_members[last_bin]
         leftover = ColorBinInstance(
             bin_index=last_bin,
-            graph=graph.induced_subgraph(leftover_members),
+            graph=subgraphs[1 + last_bin],
             palettes=palettes.subset(leftover_members),
         )
         return LowSpacePartitionResult(

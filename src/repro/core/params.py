@@ -74,6 +74,14 @@ class ColorReduceParameters:
         Score selection batches through the vectorized cost kernels
         (bit-identical outcomes; disable to force the scalar reference
         path, e.g. for benchmarking the kernels themselves).
+    graph_use_batch:
+        Materialise bin instances (and capacity-split pieces) through the
+        CSR-backed subgraph-extraction kernels
+        (:func:`repro.graph.csr.split_by_bins` /
+        :func:`repro.graph.csr.extract_induced`) instead of the scalar
+        per-neighbor set loops.  Bit-identical outcomes — same node
+        insertion order, same adjacency sets, same colorings and recursion
+        trees; disable to force the scalar reference extraction.
     enforce_palette_surplus:
         If True (default), any node whose restricted palette does not exceed
         its in-bin degree is reclassified as bad.  With the paper exponents
@@ -100,6 +108,7 @@ class ColorReduceParameters:
     selection_batch_size: int = 16
     selection_rng_seed: int = 0
     selection_use_batch: bool = True
+    graph_use_batch: bool = True
     enforce_palette_surplus: bool = True
 
     def __post_init__(self) -> None:

@@ -177,23 +177,39 @@ class Partition:
         last_bin = num_bins - 1
         colors_to_bins = color_bin_map(palettes, h2, num_color_bins)
 
-        bad_graph = graph.induced_subgraph(classification.bad_nodes)
+        # Materialise every bin instance of this level in one batched pass
+        # over the CSR view (split_by_bins); with graph_use_batch off, the
+        # same groups go through the scalar reference extraction instead.
+        # The selection already warmed the parent's CSR view, so the batched
+        # path pays no extra build.
+        bin_members = [
+            classification.good_nodes_in_bin(bin_index)
+            for bin_index in range(num_bins)
+        ]
+        subgraphs = graph.induced_subgraphs(
+            [classification.bad_nodes] + bin_members,
+            use_csr=self.params.graph_use_batch,
+        )
+        bad_graph = subgraphs[0]
 
         color_bins: List[ColorBinInstance] = []
         for bin_index in range(num_color_bins):
-            members = classification.good_nodes_in_bin(bin_index)
-            bin_graph = graph.induced_subgraph(members)
+            members = bin_members[bin_index]
             bin_palettes = palettes.restricted_to(
                 members, keep_color=lambda color, b=bin_index: colors_to_bins[color] == b
             )
             color_bins.append(
-                ColorBinInstance(bin_index=bin_index, graph=bin_graph, palettes=bin_palettes)
+                ColorBinInstance(
+                    bin_index=bin_index,
+                    graph=subgraphs[1 + bin_index],
+                    palettes=bin_palettes,
+                )
             )
 
-        leftover_members = classification.good_nodes_in_bin(last_bin)
+        leftover_members = bin_members[last_bin]
         leftover = ColorBinInstance(
             bin_index=last_bin,
-            graph=graph.induced_subgraph(leftover_members),
+            graph=subgraphs[1 + last_bin],
             palettes=palettes.subset(leftover_members),
         )
 

@@ -10,25 +10,50 @@ module provides that view:
   insertion order; ``position[node] == i`` inverts it,
 * ``indptr`` / ``indices`` — the usual CSR layout: the neighbors of the
   node at position ``i`` sit at positions ``indices[indptr[i]:indptr[i+1]]``
-  (values are *positions*, not identifiers),
+  (values are *positions*, not identifiers), sorted within each run,
 * ``degrees[i]`` — ``len`` of that slice,
 * ``edge_sources`` — position of the source node of every directed edge,
   aligned with ``indices`` (i.e. ``repeat(arange(n), degrees)``), so
   "count neighbors in the same bin" is one boolean compare plus one
   bincount over ``edge_sources``.
 
-Views are built once per graph and cached on the instance
-(:meth:`repro.graph.graph.Graph.csr`); any mutation invalidates the cache.
-The view itself is immutable and shares nothing with the adjacency sets.
+The array-view contract
+-----------------------
+Views are built lazily on the first :meth:`repro.graph.graph.Graph.csr`
+call (or by the batched cost evaluators, whose ``_prepare`` warms the view
+as a side effect of hash-pair selection) and cached on the instance; any
+mutation (``add_node`` / ``add_edge``) sets ``Graph._csr = None`` so the
+next ``csr()`` call rebuilds from the live adjacency sets.  The view itself
+is immutable and shares nothing with the adjacency sets, so subgraphs
+extracted from a view stay valid after the parent mutates.
+
+On top of the view this module provides the vectorized subgraph-extraction
+kernels the recursion pipeline uses to materialise bin instances:
+
+* :func:`extract_induced` — mask + gather + reindex producing a child
+  ``GraphCSR`` (in a caller-chosen node order) in one pass,
+* :func:`split_by_bins` — all bin subgraphs of a partition level from one
+  shared label/reindex scatter plus per-group gathers,
+* :func:`degrees_within` — induced-subgraph degrees as one bincount,
+  replacing the per-neighbor set-membership scan.
+
+Child views returned by the extraction kernels are *canonical*: identical
+(arrays and node order) to what :func:`build_csr` would build from the
+child's adjacency sets, so they can be cached on the child graph directly.
+Callers that rely on the warm view include the batched cost evaluators
+(:class:`repro.hashing.batch.BatchCostEvaluatorBase` subclasses) and the
+``use_csr`` fast paths of ``Graph.induced_subgraph`` /
+``Graph.subgraph_degrees_within`` / ``Graph.relabeled``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from repro.errors import GraphError
 from repro.types import NodeId
 
 
@@ -37,11 +62,40 @@ class GraphCSR:
     """Immutable array view of a graph (see the module docstring)."""
 
     node_ids: List[NodeId]
-    position: Dict[NodeId, int]
     indptr: np.ndarray
     indices: np.ndarray
     degrees: np.ndarray
     edge_sources: np.ndarray = field(repr=False)
+    #: Inverse of ``node_ids``, built lazily via :attr:`position` (extraction
+    #: produces many short-lived child views whose inverse is never needed).
+    _position: Dict[NodeId, int] = field(default=None, repr=False)
+    #: Lazily cached flag for the common root-instance layout where
+    #: ``node_ids[i] == i``, letting position lookups skip the dict entirely.
+    _ids_are_positions: bool = field(default=None, repr=False)
+
+    @property
+    def position(self) -> Dict[NodeId, int]:
+        """``position[node] == i`` iff ``node_ids[i] == node`` (cached)."""
+        mapping = self._position
+        if mapping is None:
+            mapping = {node: index for index, node in enumerate(self.node_ids)}
+            object.__setattr__(self, "_position", mapping)
+        return mapping
+
+    @property
+    def ids_are_positions(self) -> bool:
+        """Whether ``node_ids[i] == i`` for all ``i`` (cached)."""
+        cached = self._ids_are_positions
+        if cached is None:
+            try:
+                ids = np.asarray(self.node_ids, dtype=np.int64)
+                cached = bool(
+                    np.array_equal(ids, np.arange(ids.shape[0], dtype=np.int64))
+                )
+            except (OverflowError, TypeError):
+                cached = False
+            object.__setattr__(self, "_ids_are_positions", cached)
+        return cached
 
     @property
     def num_nodes(self) -> int:
@@ -81,9 +135,151 @@ def build_csr(adjacency: Dict[NodeId, "set"]) -> GraphCSR:
         indices = keys % num_nodes
     return GraphCSR(
         node_ids=node_ids,
-        position=position,
+        indptr=indptr,
+        indices=indices,
+        degrees=degrees,
+        edge_sources=edge_sources,
+        _position=position,
+    )
+
+
+def _positions_of(csr: GraphCSR, node_ids: Sequence[NodeId]) -> np.ndarray:
+    """Parent positions of ``node_ids`` as an int64 array (ids must exist)."""
+    if csr.ids_are_positions:
+        return np.asarray(node_ids, dtype=np.int64)
+    position = csr.position
+    return np.fromiter(
+        (position[node] for node in node_ids), dtype=np.int64, count=len(node_ids)
+    )
+
+
+def _assemble_child(
+    node_ids: Sequence[NodeId], rows: np.ndarray, targets: np.ndarray
+) -> GraphCSR:
+    """Canonical child CSR from its directed edge list in child positions.
+
+    ``rows[j]`` / ``targets[j]`` are the child positions of the endpoints of
+    one directed edge.  One flat key sort restores the :func:`build_csr`
+    layout (rows contiguous, targets sorted within each run), so the result
+    is exactly what ``build_csr`` would produce from the child's adjacency
+    sets — safe to cache on the child graph.
+    """
+    num_nodes = len(node_ids)
+    degrees = np.bincount(rows, minlength=num_nodes).astype(np.int64, copy=False)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    if rows.shape[0]:
+        keys = np.sort(rows * num_nodes + targets)
+        indices = keys % num_nodes
+    else:
+        indices = np.zeros(0, dtype=np.int64)
+    edge_sources = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+    return GraphCSR(
+        node_ids=list(node_ids),
         indptr=indptr,
         indices=indices,
         degrees=degrees,
         edge_sources=edge_sources,
     )
+
+
+def _gather_rows(
+    csr: GraphCSR, old_positions: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the neighbor runs of ``old_positions`` in one gather.
+
+    Returns ``(rows, neighbor_positions)``: for every directed edge leaving
+    one of the requested rows, the *local* row index (0-based within
+    ``old_positions``) and the parent position of the neighbor.
+    """
+    num_rows = old_positions.shape[0]
+    lengths = csr.degrees[old_positions] if num_rows else np.zeros(0, dtype=np.int64)
+    total = int(lengths.sum())
+    if not total:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    starts = csr.indptr[old_positions]
+    run_ends = np.cumsum(lengths)
+    gather = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - (run_ends - lengths), lengths
+    )
+    rows = np.repeat(np.arange(num_rows, dtype=np.int64), lengths)
+    return rows, csr.indices[gather]
+
+
+def extract_induced(csr: GraphCSR, kept_ids: Sequence[NodeId]) -> GraphCSR:
+    """The induced-subgraph view of ``kept_ids`` as one mask/gather/reindex.
+
+    ``kept_ids`` must be distinct identifiers present in ``csr`` (callers
+    filter unknown ids first); their order becomes the child's node order.
+    The kernel gathers only the kept rows' neighbor runs, drops neighbors
+    outside the subset with one reindex lookup, and assembles a canonical
+    child view — no per-neighbor Python set membership tests.
+    """
+    old_positions = _positions_of(csr, kept_ids)
+    new_of_old = np.full(csr.num_nodes, -1, dtype=np.int64)
+    new_of_old[old_positions] = np.arange(len(kept_ids), dtype=np.int64)
+    rows, neighbor_positions = _gather_rows(csr, old_positions)
+    neighbors = new_of_old[neighbor_positions]
+    inside = neighbors >= 0
+    return _assemble_child(kept_ids, rows[inside], neighbors[inside])
+
+
+def split_by_bins(
+    csr: GraphCSR, groups: Sequence[Iterable[NodeId]]
+) -> List[GraphCSR]:
+    """Child views for all (disjoint) node groups of one partition level.
+
+    The batched counterpart of calling :func:`extract_induced` per bin: one
+    label scatter and one reindex scatter cover the whole level, then each
+    child gathers only its own members' neighbor runs, keeps the same-label
+    edges, and key-sorts its own (much smaller) edge set into the canonical
+    layout — total work one pass over the level's directed edges plus the
+    per-child sorts.  Group order defines the children's order; each
+    group's id order defines its child's node order.  Raises
+    :class:`~repro.errors.GraphError` if the groups overlap (or a group
+    repeats an id) — a label scatter cannot represent overlapping bins.
+    """
+    group_ids: List[List[NodeId]] = [list(group) for group in groups]
+    labels = np.full(csr.num_nodes, -1, dtype=np.int64)
+    new_of_old = np.full(csr.num_nodes, -1, dtype=np.int64)
+    group_positions: List[np.ndarray] = []
+    total_members = 0
+    for label, ids in enumerate(group_ids):
+        positions = _positions_of(csr, ids)
+        group_positions.append(positions)
+        labels[positions] = label
+        new_of_old[positions] = np.arange(len(ids), dtype=np.int64)
+        total_members += len(ids)
+    if total_members != int((labels >= 0).sum()):
+        raise GraphError("split_by_bins groups must be disjoint")
+    children: List[GraphCSR] = []
+    for label, (ids, positions) in enumerate(zip(group_ids, group_positions)):
+        rows, neighbor_positions = _gather_rows(csr, positions)
+        kept = np.flatnonzero(labels.take(neighbor_positions) == label)
+        children.append(
+            _assemble_child(
+                ids,
+                rows.take(kept),
+                new_of_old.take(neighbor_positions.take(kept)),
+            )
+        )
+    return children
+
+
+def degrees_within(csr: GraphCSR, kept_ids: Sequence[NodeId]) -> np.ndarray:
+    """Induced-subgraph degrees of ``kept_ids`` (aligned with its order).
+
+    One membership mask plus one bincount over the directed edges whose
+    endpoints both lie in the subset — the vectorized replacement for the
+    per-neighbor set-membership scan of the scalar
+    ``Graph.subgraph_degrees_within`` path.
+    """
+    old_positions = _positions_of(csr, kept_ids)
+    mask = np.zeros(csr.num_nodes, dtype=bool)
+    mask[old_positions] = True
+    inside = mask[csr.edge_sources] & mask[csr.indices]
+    counts = np.bincount(
+        csr.edge_sources[inside], minlength=csr.num_nodes
+    ).astype(np.int64, copy=False)
+    return counts[old_positions]

@@ -14,7 +14,7 @@ keep the original node identifiers (the paper's hash function ``h1`` maps the
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import GraphError
 from repro.types import Edge, NodeId
@@ -33,19 +33,63 @@ class Graph:
         parallel edges are collapsed.
     """
 
-    __slots__ = ("_adj", "_csr")
+    __slots__ = ("_adj_store", "_csr")
 
     def __init__(
         self,
         nodes: Iterable[NodeId] = (),
         edges: Iterable[Edge] = (),
     ) -> None:
-        self._adj: Dict[NodeId, Set[NodeId]] = {}
+        self._adj_store: Optional[Dict[NodeId, Set[NodeId]]] = {}
         self._csr = None
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
             self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # adjacency storage (materialised lazily for CSR-extracted graphs)
+    # ------------------------------------------------------------------
+    @property
+    def _adj(self) -> Dict[NodeId, Set[NodeId]]:
+        """The adjacency-set mapping, materialised on first access.
+
+        Graphs built by :meth:`_from_csr` start with only their (canonical)
+        array view; the adjacency sets are reconstructed from it the first
+        time any set-based operation needs them.  Structural queries
+        (``num_nodes``, ``num_edges``, ``degree``, ``nodes`` ...) answer
+        straight from the view, so e.g. empty bin instances and recursion
+        statistics never pay for materialisation.
+        """
+        adj = self._adj_store
+        if adj is None:
+            adj = self._materialize_adjacency()
+        return adj
+
+    @_adj.setter
+    def _adj(self, value: Dict[NodeId, Set[NodeId]]) -> None:
+        self._adj_store = value
+
+    def _materialize_adjacency(self) -> Dict[NodeId, Set[NodeId]]:
+        view = self._csr
+        if view is None:  # pragma: no cover - _from_csr always sets the view
+            raise GraphError("graph has neither adjacency sets nor a CSR view")
+        import numpy as np
+
+        node_ids = view.node_ids
+        try:
+            mapped = np.asarray(node_ids, dtype=np.int64)[view.indices].tolist()
+        except (OverflowError, TypeError):
+            # Ids beyond int64 (or oddly typed): fall back to Python lookups.
+            mapped = [node_ids[j] for j in view.indices.tolist()]
+        bounds = view.indptr.tolist()
+        adj: Dict[NodeId, Set[NodeId]] = {}
+        start = 0
+        for node, end in zip(node_ids, bounds[1:]):
+            adj[node] = set(mapped[start:end])
+            start = end
+        self._adj_store = adj
+        return adj
 
     # ------------------------------------------------------------------
     # construction
@@ -95,27 +139,37 @@ class Graph:
     # queries
     # ------------------------------------------------------------------
     def __contains__(self, node: NodeId) -> bool:
-        return node in self._adj
+        if self._adj_store is None:
+            return node in self._csr.position
+        return node in self._adj_store
 
     def __len__(self) -> int:
-        return len(self._adj)
+        if self._adj_store is None:
+            return self._csr.num_nodes
+        return len(self._adj_store)
 
     def __iter__(self) -> Iterator[NodeId]:
-        return iter(self._adj)
+        if self._adj_store is None:
+            return iter(self._csr.node_ids)
+        return iter(self._adj_store)
 
     @property
     def num_nodes(self) -> int:
         """Number of nodes."""
-        return len(self._adj)
+        return len(self)
 
     @property
     def num_edges(self) -> int:
         """Number of (undirected) edges."""
-        return sum(len(neigh) for neigh in self._adj.values()) // 2
+        if self._adj_store is None:
+            return self._csr.num_directed_edges // 2
+        return sum(len(neigh) for neigh in self._adj_store.values()) // 2
 
     def nodes(self) -> List[NodeId]:
         """All node identifiers (in insertion order)."""
-        return list(self._adj)
+        if self._adj_store is None:
+            return list(self._csr.node_ids)
+        return list(self._adj_store)
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over edges as ``(u, v)`` with ``u < v``."""
@@ -150,20 +204,35 @@ class Graph:
 
     def degree(self, node: NodeId) -> int:
         """Degree of ``node``."""
+        if self._adj_store is None:
+            view = self._csr
+            try:
+                return int(view.degrees[view.position[node]])
+            except KeyError as exc:
+                raise GraphError(f"unknown node {node}") from exc
         try:
-            return len(self._adj[node])
+            return len(self._adj_store[node])
         except KeyError as exc:
             raise GraphError(f"unknown node {node}") from exc
 
     def degrees(self) -> Dict[NodeId, int]:
         """Mapping from node to degree."""
-        return {node: len(neigh) for node, neigh in self._adj.items()}
+        if self._adj_store is None:
+            view = self._csr
+            return {
+                node: int(degree)
+                for node, degree in zip(view.node_ids, view.degrees)
+            }
+        return {node: len(neigh) for node, neigh in self._adj_store.items()}
 
     def max_degree(self) -> int:
         """The maximum degree Δ (0 for an empty or edgeless graph)."""
-        if not self._adj:
+        if self._adj_store is None:
+            view = self._csr
+            return int(view.degrees.max()) if view.num_nodes else 0
+        if not self._adj_store:
             return 0
-        return max(len(neigh) for neigh in self._adj.values())
+        return max(len(neigh) for neigh in self._adj_store.values())
 
     def size(self) -> int:
         """The paper's notion of instance *size*: ``num_nodes + num_edges``.
@@ -178,9 +247,14 @@ class Graph:
         """The cached array ("CSR") view of this graph.
 
         Built on first use and invalidated by :meth:`add_node` /
-        :meth:`add_edge`; see :mod:`repro.graph.csr`.  The batched cost
-        kernels use it to turn per-node classification loops into
-        ``np.bincount``/scatter operations.
+        :meth:`add_edge`; see :mod:`repro.graph.csr` for the full
+        array-view contract.  The batched cost kernels use it to turn
+        per-node classification loops into ``np.bincount``/scatter
+        operations, and the ``use_csr`` fast paths of
+        :meth:`induced_subgraph` / :meth:`subgraph_degrees_within` /
+        :meth:`relabeled` extract subgraphs from it without per-neighbor
+        set lookups.  Subgraphs produced by those fast paths carry their
+        own (canonical) warm view.
         """
         if self._csr is None:
             from repro.graph.csr import build_csr
@@ -188,12 +262,65 @@ class Graph:
             self._csr = build_csr(self._adj)
         return self._csr
 
+    def _resolve_use_csr(self, use_csr: Optional[bool]) -> bool:
+        """``None`` means auto: take the array path iff the view is warm."""
+        if use_csr is None:
+            return self._csr is not None
+        return use_csr
+
+    def _members_for_filter(self):
+        """A membership container over the node set, cheapest available.
+
+        Used by the extraction methods to filter unknown ids without
+        forcing a lazy graph to materialise its adjacency sets — the CSR
+        view's position map answers membership just as well.
+        """
+        adj = self._adj_store
+        if adj is None:
+            return self._csr.position
+        return adj
+
+    @classmethod
+    def _from_csr(cls, view) -> "Graph":
+        """A graph backed by a canonical CSR view (adjacency sets deferred).
+
+        The view must be canonical (node order == intended insertion order,
+        neighbor runs sorted — what the extraction kernels produce), so the
+        cached view is indistinguishable from one rebuilt from ``_adj``.
+        Adjacency sets are materialised lazily on first set-based access
+        (see :attr:`_adj`); purely structural queries are answered from the
+        view directly.
+        """
+        graph = cls()
+        graph._adj_store = None
+        graph._csr = view
+        return graph
+
     # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------
-    def induced_subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
-        """The subgraph induced by ``nodes`` (unknown ids are ignored)."""
-        keep = {node for node in nodes if node in self._adj}
+    def induced_subgraph(
+        self, nodes: Iterable[NodeId], use_csr: Optional[bool] = None
+    ) -> "Graph":
+        """The subgraph induced by ``nodes`` (unknown ids are ignored).
+
+        ``use_csr`` selects the extraction path: ``None`` (default) uses the
+        vectorized CSR kernel iff the array view is already warm, ``True``
+        forces it (building the view if needed), ``False`` forces the scalar
+        reference loop.  Both paths produce the same graph — same node
+        insertion order, same adjacency sets — and the CSR path additionally
+        hands the child a warm canonical view.
+        """
+        members = self._members_for_filter()
+        keep = {node for node in nodes if node in members}
+        if self._resolve_use_csr(use_csr):
+            from repro.graph.csr import extract_induced
+
+            return Graph._from_csr(extract_induced(self.csr(), list(keep)))
+        return self._induced_from_keep(keep)
+
+    def _induced_from_keep(self, keep: Set[NodeId]) -> "Graph":
+        """Scalar reference extraction from an already-filtered node set."""
         sub = Graph(nodes=keep)
         for u in keep:
             for v in self._adj[u]:
@@ -201,14 +328,47 @@ class Graph:
                     sub.add_edge(u, v)
         return sub
 
-    def subgraph_degrees_within(self, nodes: Iterable[NodeId]) -> Dict[NodeId, int]:
+    def induced_subgraphs(
+        self, groups: Sequence[Iterable[NodeId]], use_csr: Optional[bool] = None
+    ) -> List["Graph"]:
+        """Induced subgraphs of several *disjoint* node groups in one pass.
+
+        The batched form of :meth:`induced_subgraph` used by the partition
+        pipelines to slice every bin instance of a level at once
+        (:func:`repro.graph.csr.split_by_bins`).  With ``use_csr`` resolving
+        to False each group goes through the scalar reference path instead;
+        results are identical either way.  Unknown ids are ignored; groups
+        must not overlap on the CSR path (:class:`~repro.errors.GraphError`).
+        """
+        members = self._members_for_filter()
+        keeps = [{node for node in group if node in members} for group in groups]
+        if not self._resolve_use_csr(use_csr):
+            return [self._induced_from_keep(keep) for keep in keeps]
+        from repro.graph.csr import split_by_bins
+
+        children = split_by_bins(self.csr(), [list(keep) for keep in keeps])
+        return [Graph._from_csr(child) for child in children]
+
+    def subgraph_degrees_within(
+        self, nodes: Iterable[NodeId], use_csr: Optional[bool] = None
+    ) -> Dict[NodeId, int]:
         """Degrees restricted to the induced subgraph, without building it.
 
         This is the quantity ``d'(v)`` of Definition 3.1 (degree within the
         bin of ``v``) and is needed when classifying good/bad nodes before
-        materialising the bin subgraphs.
+        materialising the bin subgraphs.  With a warm CSR view (or
+        ``use_csr=True``) the counts come from one membership mask plus one
+        bincount (:func:`repro.graph.csr.degrees_within`) instead of a
+        per-neighbor set-membership scan.
         """
-        keep = {node for node in nodes if node in self._adj}
+        members = self._members_for_filter()
+        keep = {node for node in nodes if node in members}
+        if self._resolve_use_csr(use_csr):
+            from repro.graph.csr import degrees_within
+
+            kept_ids = list(keep)
+            counts = degrees_within(self.csr(), kept_ids)
+            return {node: int(count) for node, count in zip(kept_ids, counts)}
         return {u: sum(1 for v in self._adj[u] if v in keep) for u in keep}
 
     def connected_components(self) -> List[Set[NodeId]]:
@@ -234,12 +394,29 @@ class Graph:
     # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
-    def relabeled(self) -> Tuple["Graph", Dict[NodeId, NodeId]]:
+    def relabeled(
+        self, use_csr: Optional[bool] = None
+    ) -> Tuple["Graph", Dict[NodeId, NodeId]]:
         """Return a copy with nodes relabeled ``0..n-1`` plus the mapping.
 
-        The mapping sends *original* ids to *new* ids.  Useful for handing
-        instances to array-based baselines.
+        The mapping sends *original* ids to *new* ids (insertion order).
+        Useful for handing instances to array-based baselines.  With a warm
+        CSR view the relabeled graph is the view itself re-captioned —
+        positions *are* the new ids — so no edge iteration happens at all.
         """
+        if self._resolve_use_csr(use_csr):
+            from repro.graph.csr import GraphCSR
+
+            view = self.csr()
+            num_nodes = view.num_nodes
+            relabeled_view = GraphCSR(
+                node_ids=list(range(num_nodes)),
+                indptr=view.indptr,
+                indices=view.indices,
+                degrees=view.degrees,
+                edge_sources=view.edge_sources,
+            )
+            return Graph._from_csr(relabeled_view), dict(view.position)
         mapping = {node: index for index, node in enumerate(self._adj)}
         relabeled = Graph(nodes=mapping.values())
         for u, v in self.edges():

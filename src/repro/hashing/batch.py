@@ -27,11 +27,19 @@ bins after range reduction).  Two arithmetic regimes make this work:
 
 Every batched consumer in this repository asserts equivalence against the
 scalar reference in ``tests/test_batch_kernels.py``.
+
+:class:`BatchCostEvaluatorBase` (bottom of this module) carries the
+slab/cache scaffolding shared by the two batched cost evaluators —
+Equation (1)'s :class:`repro.core.classification.PartitionCostEvaluator`
+and Equation (2)'s
+:class:`repro.core.low_space.machine_sets.LowSpaceCostEvaluator` — so the
+staleness handling, slab sizing and per-family input caches cannot drift
+apart.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -224,3 +232,135 @@ def segment_sum_rows(matrix: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     if nonempty.any():
         sums[:, nonempty] = np.add.reduceat(summable, indptr[:-1][nonempty], axis=1)
     return sums
+
+
+class BatchCostEvaluatorBase:
+    """Shared slab/cache scaffolding of the batched pair-cost evaluators.
+
+    Both selection costs — Equation (1)
+    (:class:`repro.core.classification.PartitionCostEvaluator`) and the
+    Lemma 4.5 violation count
+    (:class:`repro.core.low_space.machine_sets.LowSpaceCostEvaluator`) —
+    share the same batched shape: static per-instance arrays prepared once,
+    invalidated when the graph mutates; candidate batches sliced into
+    cache-sized slabs; hash inputs cached per hash family; a candidate-by-bin
+    matrix pipeline per slab.  This base carries that scaffolding so the two
+    evaluators only implement the cost arithmetic itself.
+
+    Subclasses implement:
+
+    * :meth:`_prepare` — build (and store on ``self._prep``) the static
+      arrays; returns the prep dict.  Must include ``node_xs_cache`` and
+      ``color_xs_cache`` entries for :meth:`_cached_xs`.
+    * :meth:`_prep_is_stale` — whether the live graph has drifted from the
+      arrays (CSR identity, size signature, ...), forcing a re-prepare.
+    * :meth:`_slab_entries` — the per-candidate element count used to size
+      slabs against :attr:`MAX_ELEMENTS`.
+    * :meth:`_many_slab` — score one slab of candidate pairs.
+    """
+
+    #: Soft cap on elements per intermediate matrix; batches are sliced into
+    #: slabs so ``slab_rows * _slab_entries()`` stays below this.
+    #: Deliberately small: the gather/compare/reduceat pipeline is
+    #: memory-bound, and slabs whose intermediates fit in cache are several
+    #: times faster than one monolithic batch.
+    MAX_ELEMENTS = 1 << 20
+
+    def __init__(self) -> None:
+        self._prep: Optional[dict] = None
+
+    @property
+    def batch_enabled(self) -> bool:
+        """Whether :meth:`many` may be used instead of per-pair calls.
+
+        Always true here (this module imports NumPy, a declared
+        dependency); the property exists for the selection strategies'
+        duck-typing probe — plain-callable cost functions without it fall
+        back to scalar evaluation.
+        """
+        return True
+
+    # -- subclass hooks -------------------------------------------------
+    def _prepare(self) -> dict:
+        raise NotImplementedError
+
+    def _prep_is_stale(self, prep: dict) -> bool:
+        raise NotImplementedError
+
+    def _slab_entries(self, prep: dict) -> int:
+        raise NotImplementedError
+
+    def _many_slab(self, pairs, prep: dict) -> List[float]:
+        raise NotImplementedError
+
+    # -- shared machinery -----------------------------------------------
+    def many(self, pairs) -> List[float]:
+        """Costs for a batch of pairs, bit-identical to the scalar path.
+
+        All pairs of a batch must come from the same two hash families
+        (identical prime/domain/range), which is how the selection
+        strategies produce them.  If the graph mutated since the static
+        arrays were built, they are rebuilt so the batched path keeps
+        matching the live-state scalar path.
+        """
+        if not pairs:
+            return []
+        prep = self._prep
+        if prep is None or self._prep_is_stale(prep):
+            prep = self._prepare()
+        slab = max(1, self.MAX_ELEMENTS // max(1, self._slab_entries(prep)))
+        costs: List[float] = []
+        for start in range(0, len(pairs), slab):
+            costs.extend(self._many_slab(pairs[start : start + slab], prep))
+        return costs
+
+    @staticmethod
+    def _cached_xs(
+        prep: dict, cache_name: str, hash_fn, values: Sequence[int]
+    ) -> np.ndarray:
+        """``values % domain`` as a ready int64 array, cached per family."""
+        key = (hash_fn.domain_size, hash_fn.prime)
+        cache: Dict[Tuple[int, int], np.ndarray] = prep[cache_name]
+        if key not in cache:
+            domain = hash_fn.domain_size
+            cache[key] = np.asarray(
+                [value % domain for value in values], dtype=np.int64
+            )
+        return cache[key]
+
+    def _slab_bin_matrices(
+        self,
+        pairs,
+        prep: dict,
+        num_bins: int,
+        num_color_bins: int,
+        node_values: Sequence[int],
+        color_values: Sequence[int],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The two candidate-by-bin matrices every slab starts from.
+
+        Validates family uniformity, resolves the cached hash inputs, and
+        returns ``(bins1, bins2)``: node bins in ``[num_bins]`` and color
+        bins in ``[num_color_bins]``, one row per candidate pair.
+        """
+        from repro.derand.cost import assert_uniform_pair_families
+
+        h1_ref, h2_ref = pairs[0]
+        assert_uniform_pair_families(pairs)
+        node_xs = self._cached_xs(prep, "node_xs_cache", h1_ref, node_values)
+        color_xs = self._cached_xs(prep, "color_xs_cache", h2_ref, color_values)
+        bins1 = hash_bins(
+            [pair[0].coefficients for pair in pairs],
+            node_xs,
+            h1_ref.prime,
+            h1_ref.range_size,
+            num_bins,
+        )
+        bins2 = hash_bins(
+            [pair[1].coefficients for pair in pairs],
+            color_xs,
+            h2_ref.prime,
+            h2_ref.range_size,
+            num_color_bins,
+        )
+        return bins1, bins2

@@ -356,3 +356,137 @@ class TestSelectionEquivalence:
         assert results[True].coloring == results[False].coloring
         assert results[True].rounds == results[False].rounds
         assert results[True].total_bad_nodes == results[False].total_bad_nodes
+
+
+# ----------------------------------------------------------------------
+# CSR-backed subgraph extraction: identical pipelines flag-on vs flag-off
+# ----------------------------------------------------------------------
+def _recursion_signature(node):
+    """A recursion tree as comparable data (structure plus statistics)."""
+    return (
+        node.depth,
+        node.num_nodes,
+        node.num_edges,
+        node.ell,
+        node.base_case,
+        node.num_bins,
+        node.num_bad_nodes,
+        node.num_bad_bins,
+        node.bad_graph_size,
+        node.selection_evaluations,
+        node.selection_cost,
+        [_recursion_signature(child) for child in node.children],
+    )
+
+
+def _low_space_signature(node):
+    return (
+        node.depth,
+        node.num_nodes,
+        node.num_edges,
+        node.max_degree,
+        node.num_bins,
+        node.low_degree_nodes,
+        node.violating_nodes,
+        node.mis_phases,
+        [_low_space_signature(child) for child in node.children],
+    )
+
+
+class TestGraphBatchEquivalence:
+    """``graph_use_batch`` on vs off must be bit-identical end to end."""
+
+    def test_partition_identical_instances_and_seeds(self):
+        graph = erdos_renyi(150, 0.08, seed=11)
+        palettes = PaletteAssignment.delta_plus_one(graph)
+        base = ColorReduceParameters.scaled(num_bins=4)
+        ell = max(float(graph.max_degree()), 2.0)
+        results = {}
+        for use_batch in (True, False):
+            params = replace(base, graph_use_batch=use_batch)
+            results[use_batch] = Partition(params).run(
+                graph.copy(), palettes.copy(), ell, graph.num_nodes, salt=1
+            )
+        batched, scalar = results[True], results[False]
+        assert batched.h1.seed == scalar.h1.seed
+        assert batched.h2.seed == scalar.h2.seed
+        assert batched.bad_graph.nodes() == scalar.bad_graph.nodes()
+        assert len(batched.color_bins) == len(scalar.color_bins)
+        for b_bin, s_bin in zip(
+            batched.color_bins + [batched.leftover],
+            scalar.color_bins + [scalar.leftover],
+        ):
+            assert b_bin.graph.nodes() == s_bin.graph.nodes()
+            for node in s_bin.graph.nodes():
+                assert b_bin.graph.neighbors(node) == s_bin.graph.neighbors(node)
+                assert b_bin.palettes.palette(node) == s_bin.palettes.palette(node)
+
+    def test_color_reduce_identical_end_to_end(self):
+        graph = erdos_renyi(200, 0.06, seed=29)
+        base = ColorReduceParameters.scaled(num_bins=3)
+        results = {}
+        for use_batch in (True, False):
+            params = replace(base, graph_use_batch=use_batch)
+            results[use_batch] = ColorReduce(params).run(graph.copy())
+        assert results[True].coloring == results[False].coloring
+        assert results[True].rounds == results[False].rounds
+        assert results[True].total_bad_nodes == results[False].total_bad_nodes
+        assert _recursion_signature(results[True].recursion_root) == _recursion_signature(
+            results[False].recursion_root
+        )
+
+    def test_color_reduce_identical_paper_mode(self):
+        graph = erdos_renyi(120, 0.1, seed=31)
+        results = {}
+        for use_batch in (True, False):
+            params = ColorReduceParameters(graph_use_batch=use_batch)
+            results[use_batch] = ColorReduce(params).run(graph.copy())
+        assert results[True].coloring == results[False].coloring
+        assert _recursion_signature(results[True].recursion_root) == _recursion_signature(
+            results[False].recursion_root
+        )
+
+    def test_low_space_color_reduce_identical_end_to_end(self):
+        from repro.core.low_space.color_reduce import LowSpaceColorReduce
+
+        graph = erdos_renyi(150, 0.12, seed=37)
+        results = {}
+        for use_batch in (True, False):
+            params = LowSpaceParameters.scaled(
+                num_bins=3, low_degree_threshold=6, machine_chunk=8
+            )
+            params = replace(params, graph_use_batch=use_batch)
+            results[use_batch] = LowSpaceColorReduce(params).run(graph.copy())
+        assert results[True].coloring == results[False].coloring
+        assert results[True].rounds == results[False].rounds
+        assert results[True].total_mis_phases == results[False].total_mis_phases
+        assert _low_space_signature(results[True].recursion_root) == _low_space_signature(
+            results[False].recursion_root
+        )
+
+    def test_low_space_partition_identical_seeds(self):
+        from repro.core.low_space.partition import LowSpacePartition
+
+        graph = erdos_renyi(150, 0.1, seed=13)
+        palettes = PaletteAssignment.degree_plus_one(graph)
+        results = {}
+        for use_batch in (True, False):
+            params = LowSpaceParameters.scaled(
+                num_bins=3, low_degree_threshold=6, machine_chunk=8
+            )
+            params = replace(params, graph_use_batch=use_batch)
+            results[use_batch] = LowSpacePartition(params).run(
+                graph.copy(), palettes.copy(), graph.num_nodes, salt=2
+            )
+        batched, scalar = results[True], results[False]
+        assert batched.h1.seed == scalar.h1.seed
+        assert batched.h2.seed == scalar.h2.seed
+        assert batched.num_violating_nodes == scalar.num_violating_nodes
+        assert batched.low_degree_graph.nodes() == scalar.low_degree_graph.nodes()
+        for b_bin, s_bin in zip(
+            batched.color_bins + [batched.leftover],
+            scalar.color_bins + [scalar.leftover],
+        ):
+            assert b_bin.graph.nodes() == s_bin.graph.nodes()
+            for node in s_bin.graph.nodes():
+                assert b_bin.graph.neighbors(node) == s_bin.graph.neighbors(node)

@@ -166,3 +166,98 @@ class TestProperColoringCheckerProperties:
     def test_identity_coloring_always_proper(self, graph):
         coloring = {node: node for node in graph.nodes()}
         assert is_proper_coloring(graph, coloring)
+
+
+# ----------------------------------------------------------------------
+# CSR-backed subgraph extraction vs the scalar reference
+# ----------------------------------------------------------------------
+@st.composite
+def sparse_graphs_with_subsets(draw, max_nodes: int = 30):
+    """A graph with non-contiguous ids, shuffled insertion, and a subset.
+
+    The subset may be empty, may repeat ids, and may contain ids the graph
+    does not know (``induced_subgraph`` must ignore them); density 0 keeps
+    isolated nodes in play.
+    """
+    ids = sorted(draw(st.sets(st.integers(min_value=0, max_value=997), max_size=max_nodes)))
+    rng = draw(st.randoms(use_true_random=False))
+    density = draw(st.floats(min_value=0.0, max_value=0.6))
+    edges = [
+        (u, v)
+        for index, u in enumerate(ids)
+        for v in ids[index + 1 :]
+        if rng.random() < density
+    ]
+    insertion = list(ids)
+    rng.shuffle(insertion)
+    graph = Graph(nodes=insertion, edges=edges)
+    pool = ids + [1000, 2000]  # unknown ids must be ignored
+    subset = draw(st.lists(st.sampled_from(pool), max_size=2 * max_nodes)) if pool else []
+    return graph, subset
+
+
+def _assert_same_graph(expected: Graph, actual: Graph) -> None:
+    """Exact agreement: node insertion order and adjacency sets."""
+    assert actual.nodes() == expected.nodes()
+    for node in expected.nodes():
+        assert actual.neighbors(node) == expected.neighbors(node)
+
+
+class TestCSRExtractionDifferential:
+    @SETTINGS
+    @given(sparse_graphs_with_subsets())
+    def test_induced_subgraph_matches_scalar(self, data):
+        graph, subset = data
+        scalar = graph.induced_subgraph(subset, use_csr=False)
+        batched = graph.induced_subgraph(subset, use_csr=True)
+        _assert_same_graph(scalar, batched)
+
+    @SETTINGS
+    @given(sparse_graphs_with_subsets())
+    def test_subgraph_degrees_within_matches_scalar(self, data):
+        graph, subset = data
+        scalar = graph.subgraph_degrees_within(subset, use_csr=False)
+        batched = graph.subgraph_degrees_within(subset, use_csr=True)
+        assert batched == scalar
+        assert list(batched) == list(scalar)  # same key order
+
+    @SETTINGS
+    @given(sparse_graphs_with_subsets())
+    def test_relabeled_matches_scalar(self, data):
+        graph, _ = data
+        scalar_graph, scalar_map = graph.relabeled(use_csr=False)
+        batched_graph, batched_map = graph.relabeled(use_csr=True)
+        assert batched_map == scalar_map
+        assert list(batched_map) == list(scalar_map)
+        _assert_same_graph(scalar_graph, batched_graph)
+
+    @SETTINGS
+    @given(sparse_graphs_with_subsets(), st.integers(min_value=1, max_value=5))
+    def test_induced_subgraphs_matches_scalar(self, data, num_groups):
+        graph, _ = data
+        nodes = graph.nodes()
+        groups = [
+            [node for index, node in enumerate(nodes) if index % num_groups == g]
+            for g in range(num_groups)
+        ]
+        scalar = graph.induced_subgraphs(groups, use_csr=False)
+        batched = graph.induced_subgraphs(groups, use_csr=True)
+        assert len(scalar) == len(batched) == num_groups
+        for expected, actual in zip(scalar, batched):
+            _assert_same_graph(expected, actual)
+
+    @SETTINGS
+    @given(sparse_graphs_with_subsets())
+    def test_extracted_child_answers_like_fresh_build(self, data):
+        """The child's cached CSR view is canonical (build_csr-identical)."""
+        from repro.graph.csr import build_csr
+
+        graph, subset = data
+        child = graph.induced_subgraph(subset, use_csr=True)
+        cached = child.csr()
+        rebuilt = build_csr(child._adj)
+        assert rebuilt.node_ids == cached.node_ids
+        assert rebuilt.position == cached.position
+        assert (rebuilt.indptr == cached.indptr).all()
+        assert (rebuilt.indices == cached.indices).all()
+        assert (rebuilt.degrees == cached.degrees).all()
