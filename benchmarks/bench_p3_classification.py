@@ -1,0 +1,166 @@
+"""P3 — throughput of the post-selection classify + palette-restriction step.
+
+After the derandomized selection settles on a hash pair, ``Partition.run``
+still has to (a) build the full :class:`PartitionClassification` for the
+selected pair and (b) restrict every color bin's palettes to the colors
+``h2`` maps to that bin.  PR 1/2 batched the *selection* and the *subgraph
+extraction*; this step was the biggest Python loop left in the pipeline.
+The batch layer replaces it with
+:func:`repro.core.classification.classify_partition_batch` (one
+``hash_many`` call, edge-endpoint compares and ``bincount`` scatters over
+the CSR view) plus
+:meth:`repro.graph.palettes.PaletteAssignment.restricted_by_bins` (one
+``searchsorted`` gather over the flattened palette entries), sharing the
+selected pair's color-bin arrays between the two.
+
+This benchmark times the combined step for one real partition level (the
+pair comes from an actual hash selection) for both paths, asserting
+
+* a >= 3x speedup of the combined step at the default scale (n = 2000),
+  and
+* identical outputs — same classification, field by field, and the same
+  restricted palette sets —
+
+so future PRs have a recorded trajectory to regress against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.classification import (
+    classify_partition,
+    color_bin_map,
+    partition_cost_function,
+)
+from repro.core.params import ColorReduceParameters
+from repro.core.partition import Partition
+from repro.graph.generators import erdos_renyi
+from repro.graph.palettes import PaletteAssignment
+
+_SCALES = {
+    # (num nodes, average degree, timing rounds)
+    "smoke": (600, 20, 5),
+    "default": (2000, 30, 9),
+    "full": (4000, 60, 9),
+}
+
+#: Required speedups per scale.  At smoke size the fixed kernel overheads
+#: (universe sort, array setup) are a large fraction of the tiny scalar
+#: time, so only the realistic scales demand the full 3x.
+_REQUIRED_SPEEDUP = {"smoke": 1.2, "default": 3.0, "full": 3.0}
+
+
+def _setup(scale: str):
+    num_nodes, avg_degree, rounds = _SCALES[scale]
+    graph = erdos_renyi(num_nodes, avg_degree / num_nodes, seed=42)
+    palettes = PaletteAssignment.delta_plus_one(graph)
+    params = ColorReduceParameters.scaled(num_bins=4)
+    ell = max(float(graph.max_degree()), 2.0)
+    # Exactly what Partition.run does: one evaluator drives the selection
+    # and is then reused (static arrays warm) for the final classification.
+    evaluator = partition_cost_function(graph, palettes, params, ell, graph.num_nodes)
+    selection = Partition(params).select_hash_pair(
+        graph, palettes, ell, graph.num_nodes, salt=1, cost=evaluator
+    )
+    graph.csr()  # warm, as it is after a real batched selection
+    return graph, palettes, params, ell, selection, evaluator, rounds
+
+
+def _scalar_step(graph, palettes, params, ell, h1, h2):
+    """The pre-PR-3 path: per-node classification + per-color restriction."""
+    classification = classify_partition(
+        graph, palettes, h1, h2, params, ell, graph.num_nodes
+    )
+    num_color_bins = max(1, classification.num_bins - 1)
+    colors_to_bins = color_bin_map(palettes, h2, num_color_bins)
+    restricted = [
+        palettes.restricted_to(
+            classification.good_nodes_in_bin(bin_index),
+            keep_color=lambda color, b=bin_index: colors_to_bins[color] == b,
+        )
+        for bin_index in range(num_color_bins)
+    ]
+    return classification, restricted
+
+
+def _batched_step(evaluator, h1, h2):
+    """The PR-3 path: one fused pass over the evaluator's warm arrays."""
+    return evaluator.classify_selected(h1, h2)
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_p3_final_classification(benchmark, experiment_scale):
+    graph, palettes, params, ell, selection, evaluator, rounds = _setup(experiment_scale)
+    h1, h2 = selection.h1, selection.h2
+
+    # Warm both paths once (interpreter/ufunc one-offs are not part of
+    # either algorithm).
+    _scalar_step(graph, palettes, params, ell, h1, h2)
+    _batched_step(evaluator, h1, h2)
+
+    scalar_seconds = _best_of(
+        lambda: _scalar_step(graph, palettes, params, ell, h1, h2), rounds
+    )
+    batched_seconds = benchmark.pedantic(
+        _best_of,
+        args=(lambda: _batched_step(evaluator, h1, h2), rounds),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = scalar_seconds / batched_seconds
+
+    # --- equivalence: identical classification and restricted palettes ----
+    scalar_cls, scalar_restricted = _scalar_step(graph, palettes, params, ell, h1, h2)
+    batched_cls, batched_restricted = _batched_step(evaluator, h1, h2)
+    identical = (
+        batched_cls.bin_of_node == scalar_cls.bin_of_node
+        and batched_cls.bad_nodes == scalar_cls.bad_nodes
+        and batched_cls.bad_bins == scalar_cls.bad_bins
+        and batched_cls.bin_sizes == scalar_cls.bin_sizes
+        and batched_cls.nodes == scalar_cls.nodes
+        and len(batched_restricted) == len(scalar_restricted)
+        and all(
+            actual.nodes() == expected.nodes()
+            and all(
+                actual.palette(node) == expected.palette(node)
+                for node in expected.nodes()
+            )
+            for expected, actual in zip(scalar_restricted, batched_restricted)
+        )
+    )
+
+    benchmark.extra_info["num_nodes"] = graph.num_nodes
+    benchmark.extra_info["num_edges"] = graph.num_edges
+    benchmark.extra_info["palette_entries"] = palettes.total_size()
+    benchmark.extra_info["scalar_seconds"] = round(scalar_seconds, 5)
+    benchmark.extra_info["batched_seconds"] = round(batched_seconds, 5)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["identical_outputs"] = identical
+
+    print()
+    print("P3: post-selection classify + palette restriction (batched vs scalar)")
+    print(
+        f"  instance: n={graph.num_nodes} m={graph.num_edges} "
+        f"palette entries={palettes.total_size()}"
+    )
+    print(
+        f"  combined step: scalar {scalar_seconds * 1e3:8.2f}ms  "
+        f"batched {batched_seconds * 1e3:8.2f}ms   speedup {speedup:6.1f}x"
+    )
+    print(f"  identical outputs: {identical}")
+
+    assert identical, "batched classification must match the scalar reference exactly"
+    required = _REQUIRED_SPEEDUP[experiment_scale]
+    assert speedup >= required, (
+        f"post-selection step only {speedup:.1f}x faster than scalar "
+        f"(required {required}x at scale {experiment_scale!r})"
+    )

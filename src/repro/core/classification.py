@@ -25,12 +25,18 @@ Two implementations of the cost coexist, by design:
   (:mod:`repro.graph.csr`) and the vectorized hash kernels
   (:mod:`repro.hashing.batch`): in-bin degrees, bin sizes and in-bin
   palette counts all become ``np.bincount`` scatters.
+* :func:`classify_partition_batch` — the batched form of the *final*
+  classification for the pair the selection settled on (one row instead of
+  a candidate batch), producing the same :class:`PartitionClassification`
+  object as the reference; gated by
+  :attr:`repro.core.params.ColorReduceParameters.graph_use_batch`.
 
-Substitution rule: the batched evaluator returns **bit-identical** costs to
-the scalar path for every pair (same integer counts, same IEEE-754
-comparisons in the same order), so the selection strategies may use either
-interchangeably — ``tests/test_batch_kernels.py`` asserts this, including
-identical selected seeds end to end.
+Substitution rule: the batched paths return **bit-identical** results to
+the scalar ones for every pair (same integer counts, same IEEE-754
+comparisons in the same order), so the selection strategies and
+``Partition.run`` may use either interchangeably —
+``tests/test_batch_kernels.py`` and ``tests/test_final_classification.py``
+assert this, including identical selected seeds and colorings end to end.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ from typing import Dict, List, Optional, Set
 from repro.core.params import ColorReduceParameters
 from repro.derand.cost import PairCost
 from repro.graph.graph import Graph
-from repro.graph.palettes import PaletteAssignment
+from repro.graph.palettes import PaletteAssignment, color_bins_of_entries
 from repro.hashing.batch import BatchCostEvaluatorBase
 from repro.hashing.family import HashFunction
 from repro.types import BinIndex, Color, NodeId
@@ -110,6 +116,32 @@ def color_bin_map(
     """
     universe = palettes.color_universe()
     return {color: h2(color % h2.domain_size) % num_color_bins for color in universe}
+
+
+def color_bin_arrays(
+    palettes: PaletteAssignment, h2: HashFunction, num_color_bins: int
+):
+    """Vectorized :func:`color_bin_map`: ``(universe, bins)`` as arrays.
+
+    Returns the *sorted* color universe as an int64 array of shape ``(U,)``
+    and an aligned int64 array of the bins ``h2`` maps each color to —
+    entry-for-entry equal to the scalar ``color_bin_map`` dict (the hash
+    kernel is bit-identical, see :mod:`repro.hashing.batch`).  One
+    :func:`~repro.hashing.batch.hash_many` call replaces ``U`` scalar
+    polynomial evaluations; the pair feeds both the batched final
+    classification (:func:`classify_partition_batch`) and the vectorized
+    palette restriction
+    (:meth:`repro.graph.palettes.PaletteAssignment.restricted_by_bins`), so
+    the selected pair's color hashes are computed exactly once per
+    ``Partition`` call.
+    """
+    import numpy as np
+
+    universe = np.asarray(sorted(palettes.color_universe()), dtype=np.int64)
+    if universe.shape[0] == 0:
+        return universe, np.zeros(0, dtype=np.int64)
+    bins = np.asarray(h2.hash_many(universe.tolist())) % num_color_bins
+    return universe, bins.astype(np.int64, copy=False)
 
 
 def classify_partition(
@@ -227,6 +259,267 @@ def classify_partition(
     return classification
 
 
+def _classify_partition_arrays(
+    graph: Graph,
+    palettes: PaletteAssignment,
+    h1: HashFunction,
+    h2: HashFunction,
+    params: ColorReduceParameters,
+    ell: float,
+    global_nodes: int,
+    color_arrays,
+    collect_restricted: bool,
+    prep=None,
+):
+    """Shared array pipeline behind the batched classification entry points
+    (:func:`classify_partition_batch` / :func:`classify_and_restrict_batch`
+    / :meth:`PartitionCostEvaluator.classify_selected`); see their
+    docstrings.
+
+    ``prep`` may pass a fresh :class:`PartitionCostEvaluator` prep dict, in
+    which case the palette-entry arrays the selection already built (flat
+    entry owners, universe positions, palette sizes) are reused and no
+    palette is flattened again.
+    """
+    import itertools
+
+    import numpy as np
+
+    num_bins = params.num_bins(ell)
+    num_color_bins = max(1, num_bins - 1)
+    degree_slack = params.degree_slack(ell)
+    palette_slack = params.palette_slack(ell)
+    instance_nodes = graph.num_nodes
+    literal_palette_condition = not params.is_scaled and not params.bins_are_clamped(ell)
+    last_bin = num_bins - 1
+
+    csr = prep["csr"] if prep is not None else graph.csr()
+    node_ids = csr.node_ids
+    num_nodes = len(node_ids)
+
+    bins1 = (np.asarray(h1.hash_many(node_ids)) % num_bins).astype(np.int64, copy=False)
+
+    bin_size_counts = np.bincount(bins1, minlength=num_bins)
+    bin_cap = params.bin_cap(ell, instance_nodes, global_nodes)
+    bin_sizes = {index: int(bin_size_counts[index]) for index in range(num_bins)}
+    bad_bins = {index for index in range(num_bins) if bin_size_counts[index] >= bin_cap}
+
+    same_bin = bins1[csr.edge_sources] == bins1[csr.indices]
+    in_bin_degree = np.bincount(
+        csr.edge_sources[same_bin], minlength=num_nodes
+    ).astype(np.int64, copy=False)
+
+    if prep is not None:
+        # The selection's batched evaluator already flattened every palette
+        # (entry owners aligned with the CSR node order, colors resolved to
+        # universe positions): reuse those arrays verbatim.
+        universe = prep.get("universe_array")
+        if universe is None:
+            universe = np.asarray(prep["universe"], dtype=np.int64)
+            prep["universe_array"] = universe
+        universe_bins = (
+            (np.asarray(h2.hash_many(universe.tolist())) % num_color_bins).astype(
+                np.int64, copy=False
+            )
+            if universe.shape[0]
+            else np.zeros(0, dtype=np.int64)
+        )
+        palette_sizes = prep["palette_sizes"]
+        entry_owners = prep["entry_nodes"]
+        entry_positions = prep["entry_colors"]
+        entry_bins = universe_bins[entry_positions]
+        flat_colors = None
+    else:
+        if color_arrays is None:
+            color_arrays = color_bin_arrays(palettes, h2, num_color_bins)
+        universe, universe_bins = color_arrays
+        # Flatten every palette exactly once; the entry arrays feed both the
+        # in-bin palette counts and (optionally) the restricted palettes.
+        palette_sizes = np.fromiter(
+            (palettes.palette_size(node) for node in node_ids),
+            dtype=np.int64,
+            count=num_nodes,
+        )
+        total_entries = int(palette_sizes.sum())
+        flat_colors = np.fromiter(
+            itertools.chain.from_iterable(
+                palettes.iter_palette(node) for node in node_ids
+            ),
+            dtype=np.int64,
+            count=total_entries,
+        )
+        entry_owners = np.repeat(np.arange(num_nodes, dtype=np.int64), palette_sizes)
+        entry_positions = None
+        entry_bins = color_bins_of_entries(np, universe, universe_bins, flat_colors)
+    entry_match = entry_bins == bins1[entry_owners]
+    matched_owners = entry_owners[entry_match]
+    in_bin_palette = np.bincount(matched_owners, minlength=num_nodes).astype(
+        np.int64, copy=False
+    )
+
+    expected = csr.degrees / num_bins
+    degree_bad = np.abs(in_bin_degree - expected) > degree_slack
+    in_color_bin = bins1 != last_bin
+    if literal_palette_condition:
+        shortfall = in_color_bin & (
+            in_bin_palette < palette_sizes / num_bins + palette_slack
+        )
+    else:
+        shortfall = np.zeros(num_nodes, dtype=bool)
+    if params.enforce_palette_surplus:
+        surplus_fail = in_color_bin & (in_bin_palette <= in_bin_degree)
+    else:
+        surplus_fail = np.zeros(num_nodes, dtype=bool)
+    is_good = ~(degree_bad | shortfall | surplus_fail)
+
+    # ---- assembly: the only remaining Python loop (n records must be
+    # built either way).  Element access goes through plain lists because
+    # NumPy scalar indexing would dominate it; the (rare) bad nodes get
+    # their reason strings in a second, short pass so the hot loop stays a
+    # bare positional constructor.
+    bins1_list = bins1.tolist()
+    classification = PartitionClassification(
+        num_bins=num_bins,
+        bin_of_node=dict(zip(node_ids, bins1_list)),
+        nodes={},
+        bad_bins=bad_bins,
+        bin_sizes=bin_sizes,
+    )
+    if collect_restricted:
+        if flat_colors is not None:
+            kept_colors = flat_colors[entry_match].tolist()
+        else:
+            kept_colors = universe[entry_positions[entry_match]].tolist()
+        # Per-node kept counts are exactly the in-bin palette sizes.
+        kept_bounds = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(in_bin_palette, out=kept_bounds[1:])
+        kept_bounds = kept_bounds.tolist()
+        restricted: Optional[List[Dict[NodeId, Set[Color]]]] = [
+            {} for _ in range(num_color_bins)
+        ]
+    else:
+        kept_colors = kept_bounds = None
+        restricted = None
+    rows = zip(
+        node_ids,
+        bins1_list,
+        csr.degrees.tolist(),
+        in_bin_degree.tolist(),
+        palette_sizes.tolist(),
+        in_bin_palette.tolist(),
+        in_color_bin.tolist(),
+        is_good.tolist(),
+    )
+    nodes = classification.nodes
+    index = 0
+    for node, node_bin, degree, d_prime, p_size, p_prime, in_color, good in rows:
+        nodes[node] = NodeClassification(
+            node, node_bin, degree, d_prime, p_size,
+            p_prime if in_color else None, good, "",
+        )
+        if restricted is not None and good and in_color:
+            restricted[node_bin][node] = set(
+                kept_colors[kept_bounds[index] : kept_bounds[index + 1]]
+            )
+        index += 1
+    bad_nodes = classification.bad_nodes
+    for index in np.flatnonzero(~is_good).tolist():
+        node = node_ids[index]
+        record = nodes[node]
+        if degree_bad[index]:
+            record.reason = "degree deviation"
+        elif shortfall[index]:
+            record.reason = "palette shortfall"
+        else:
+            record.reason = "palette does not exceed in-bin degree"
+        bad_nodes.add(node)
+    return classification, restricted
+
+
+def classify_partition_batch(
+    graph: Graph,
+    palettes: PaletteAssignment,
+    h1: HashFunction,
+    h2: HashFunction,
+    params: ColorReduceParameters,
+    ell: float,
+    global_nodes: int,
+    color_arrays=None,
+) -> PartitionClassification:
+    """Batched :func:`classify_partition` for the *selected* hash pair.
+
+    The derandomized selection scores candidate pairs through the batched
+    :class:`PartitionCostEvaluator`, but the pair that wins still needs the
+    full :class:`PartitionClassification` (per-node records, bad sets, bin
+    sizes) — previously a per-node walk over Python adjacency sets.  This
+    function computes the same object from the graph's CSR view and the
+    vectorized hash kernels:
+
+    1. ``bins1``: one :func:`~repro.hashing.batch.hash_many` call over the
+       node ids (shape ``(n,)``),
+    2. color bins over the sorted palette universe
+       (:func:`color_bin_arrays`, shape ``(U,)``; pass ``color_arrays`` to
+       reuse a pair already computed elsewhere),
+    3. in-bin degrees: one edge-endpoint compare plus one ``bincount`` over
+       the CSR's directed edges,
+    4. in-bin palette sizes: one lookup gather plus one ``bincount`` over
+       the flattened palette entries (shape ``(total_entries,)``),
+    5. the Definition 3.1 thresholds as array comparisons.
+
+    Only the final assembly of the per-node dataclasses remains a Python
+    loop (it must build ``n`` records either way).  The result is equal to
+    the scalar reference — same bins, same bad nodes/bins, same per-node
+    records including the ``reason`` strings — which
+    ``tests/test_final_classification.py`` asserts field by field.
+    """
+    classification, _ = _classify_partition_arrays(
+        graph, palettes, h1, h2, params, ell, global_nodes, color_arrays,
+        collect_restricted=False,
+    )
+    return classification
+
+
+def classify_and_restrict_batch(
+    graph: Graph,
+    palettes: PaletteAssignment,
+    h1: HashFunction,
+    h2: HashFunction,
+    params: ColorReduceParameters,
+    ell: float,
+    global_nodes: int,
+    color_arrays=None,
+):
+    """One fused pass: classification plus color-bin palette restriction.
+
+    ``Partition.run`` needs both the selected pair's
+    :class:`PartitionClassification` *and*, for every color bin, the
+    palettes of its good nodes restricted to the colors ``h2`` maps there.
+    Both are functions of the same per-entry comparison (``entry's color
+    bin == owner's node bin``), so this entry point computes the match
+    once and materialises the restricted palettes from the kept entries
+    while assembling the per-node records — the palette sets are built
+    straight from one gather instead of a second scan over the palettes
+    (:meth:`repro.graph.palettes.PaletteAssignment.restricted_by_bins`
+    remains the standalone vectorized restriction for callers that already
+    have a classification).
+
+    Returns ``(classification, restricted)`` where ``restricted[b]`` is the
+    :class:`~repro.graph.palettes.PaletteAssignment` for color bin ``b``
+    over ``classification.good_nodes_in_bin(b)`` (same node order, same
+    palette sets as the scalar ``restricted_to`` path).
+    """
+    classification, kept = _classify_partition_arrays(
+        graph, palettes, h1, h2, params, ell, global_nodes, color_arrays,
+        collect_restricted=True,
+    )
+    return classification, _assignments_from_kept(kept)
+
+
+def _assignments_from_kept(kept: List[Dict[NodeId, Set[Color]]]) -> List[PaletteAssignment]:
+    """Wrap per-bin ``node -> kept colors`` dicts as palette assignments."""
+    return [PaletteAssignment._adopt(palettes_of_bin) for palettes_of_bin in kept]
+
+
 class PartitionCostEvaluator(BatchCostEvaluatorBase):
     """Equation (1) cost with a scalar reference path and a batched kernel.
 
@@ -272,6 +565,28 @@ class PartitionCostEvaluator(BatchCostEvaluatorBase):
             self.graph, self.palettes, h1, h2, self.params, self.ell, self.global_nodes
         )
         return classification.cost(self.global_nodes)
+
+    # -- final classification for the selected pair ---------------------
+    def classify_selected(self, h1: HashFunction, h2: HashFunction):
+        """Fused classification + palette restriction for the winning pair.
+
+        The post-selection counterpart of :meth:`many`: one more pass over
+        the *same* static arrays ``_prepare`` built for the candidate
+        batches (CSR view, flattened palette entries, universe positions)
+        yields the full :class:`PartitionClassification` and every color
+        bin's restricted palettes — no palette is flattened a second time.
+        Returns ``(classification, restricted)`` exactly like
+        :func:`classify_and_restrict_batch`, and is bit-identical to the
+        scalar :func:`classify_partition` + ``restricted_to`` path.
+        """
+        prep = self._prep
+        if prep is None or self._prep_is_stale(prep):
+            prep = self._prepare()
+        classification, kept = _classify_partition_arrays(
+            self.graph, self.palettes, h1, h2, self.params, self.ell,
+            self.global_nodes, None, collect_restricted=True, prep=prep,
+        )
+        return classification, _assignments_from_kept(kept)
 
     # -- batched path ---------------------------------------------------
     def _prepare(self):

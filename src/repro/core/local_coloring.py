@@ -8,6 +8,12 @@ nodes one at a time and give each a palette color unused by its already
 colored neighbors.  This always succeeds when every node satisfies
 ``p(v) > d(v)`` (each neighbor blocks at most one color), which is exactly
 the invariant the algorithm maintains.
+
+The greedy sweep reads neighbor lists through
+:meth:`repro.graph.graph.Graph.iter_neighbors`, which on CSR-extracted
+children answers straight from the lazy array view — collecting and
+coloring a bin instance therefore never forces its Python adjacency sets
+to materialise.
 """
 
 from __future__ import annotations

@@ -22,7 +22,11 @@ As in :mod:`repro.core.classification`, the selection cost has two
 implementations: the per-node scalar reference (:func:`node_level_outcome`)
 and the batched :class:`LowSpaceCostEvaluator` built on the vectorized hash
 kernels — bit-identical by construction and by test, so the derandomized
-selection may score candidate batches as matrix computations.
+selection may score candidate batches as matrix computations.  The
+*selected* pair's full node-level outcome has the same split:
+:func:`node_level_outcome_batch` computes the reference
+:class:`NodeLevelOutcome` from the CSR view, gated by
+:attr:`repro.core.low_space.params.LowSpaceParameters.graph_use_batch`.
 """
 
 from __future__ import annotations
@@ -240,6 +244,78 @@ def node_level_outcome(
     )
 
 
+def node_level_outcome_batch(
+    graph: Graph,
+    palettes: PaletteAssignment,
+    high_degree_nodes: Set[NodeId],
+    h1: HashFunction,
+    h2: HashFunction,
+    params: LowSpaceParameters,
+    num_bins: int,
+    color_arrays=None,
+) -> NodeLevelOutcome:
+    """Batched :func:`node_level_outcome` for the *selected* hash pair.
+
+    The low-space selection scores candidates through the batched
+    :class:`LowSpaceCostEvaluator`, but the winning pair still needs the
+    full :class:`NodeLevelOutcome` (bins, in-bin degrees/palettes, the
+    violating set) — previously a per-node walk over Python adjacency and
+    palette sets.  This standalone form is a thin wrapper: it builds a
+    fresh :class:`LowSpaceCostEvaluator` and runs its
+    :meth:`~LowSpaceCostEvaluator.outcome_selected` pass, so there is
+    exactly one array pipeline to keep bit-identical to the scalar
+    reference.  ``color_arrays`` may pass a precomputed
+    ``(sorted universe, color bins)`` pair (see
+    :func:`repro.core.classification.color_bin_arrays`) covering at least
+    the high nodes' palette colors, so a caller combining classification
+    with palette restriction hashes each color only once.
+    ``LowSpacePartition.run`` calls ``outcome_selected`` directly on the
+    evaluator that drove the selection, reusing its warm static arrays.
+    """
+    evaluator = LowSpaceCostEvaluator(
+        graph, palettes, high_degree_nodes, params, num_bins
+    )
+    return evaluator.outcome_selected(h1, h2, color_arrays=color_arrays)
+
+
+def _outcome_from_arrays(high, bins_high, d_prime, p_prime, threshold, last_bin):
+    """Assemble a :class:`NodeLevelOutcome` from the per-node arrays.
+
+    Shared final step of :func:`node_level_outcome_batch` and
+    :meth:`LowSpaceCostEvaluator.outcome_selected`; plain-list element
+    access keeps the (unavoidable) per-node dict construction cheap.
+    """
+    degree_violation = d_prime > threshold
+    in_color_bin = bins_high != last_bin
+    palette_violation = in_color_bin & (p_prime <= d_prime)
+
+    in_bin_degree: Dict[NodeId, int] = {}
+    in_bin_palette: Dict[NodeId, int] = {}
+    violating: Set[NodeId] = set()
+    bin_of_node: Dict[NodeId, BinIndex] = {}
+    rows = zip(
+        high,
+        bins_high.tolist(),
+        d_prime.tolist(),
+        p_prime.tolist(),
+        in_color_bin.tolist(),
+        (degree_violation | palette_violation).tolist(),
+    )
+    for node, node_bin, degree_in_bin, palette_in_bin, in_color, violates in rows:
+        bin_of_node[node] = node_bin
+        in_bin_degree[node] = degree_in_bin
+        if in_color:
+            in_bin_palette[node] = palette_in_bin
+        if violates:
+            violating.add(node)
+    return NodeLevelOutcome(
+        bin_of_node=bin_of_node,
+        in_bin_degree=in_bin_degree,
+        in_bin_palette=in_bin_palette,
+        violating_nodes=violating,
+    )
+
+
 class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
     """Lemma 4.5 violation count with scalar reference and batched kernel.
 
@@ -284,6 +360,63 @@ class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
             self.params,
             self.num_bins,
         ).cost
+
+    # -- node-level outcome for the selected pair -----------------------
+    def outcome_selected(
+        self, h1: HashFunction, h2: HashFunction, color_arrays=None
+    ) -> NodeLevelOutcome:
+        """Full :class:`NodeLevelOutcome` for the winning pair, from prep.
+
+        The post-selection counterpart of :meth:`many`: one more pass over
+        the same static arrays ``_prepare`` built for the candidate batches
+        (high-high edge lists, flattened palette entries, per-node
+        thresholds) — no adjacency or palette is walked again.
+        ``color_arrays`` may pass the full-universe
+        ``(sorted universe, color bins)`` pair
+        (:func:`repro.core.classification.color_bin_arrays`) that the
+        caller also feeds the palette restriction, in which case the high
+        nodes' color bins are looked up there instead of hashed a second
+        time.  Bit-identical to the scalar :func:`node_level_outcome`.
+        """
+        import numpy as np
+
+        from repro.graph.palettes import color_bins_of_entries
+
+        prep = self._prep
+        if prep is None or self._prep_is_stale(prep):
+            prep = self._prepare()
+        num_color_bins = max(1, self.num_bins - 1)
+        last_bin = self.num_bins - 1
+        high = prep["high"]
+        num_high = len(high)
+        bins_high = (np.asarray(h1.hash_many(high)) % self.num_bins).astype(
+            np.int64, copy=False
+        )
+        same_bin = bins_high[prep["edge_sources"]] == bins_high[prep["edge_targets"]]
+        d_prime = np.bincount(
+            prep["edge_sources"][same_bin], minlength=num_high
+        ).astype(np.int64, copy=False)
+        universe = prep["universe"]
+        if not universe:
+            universe_bins = np.zeros(0, dtype=np.int64)
+        elif color_arrays is not None:
+            full_universe, full_bins = color_arrays
+            universe_bins = color_bins_of_entries(
+                np, full_universe, full_bins,
+                np.asarray(universe, dtype=np.int64),
+            )
+        else:
+            universe_bins = (np.asarray(h2.hash_many(universe)) % num_color_bins).astype(
+                np.int64, copy=False
+            )
+        entry_bins = universe_bins[prep["entry_colors"]]
+        entry_match = entry_bins == bins_high[prep["entry_nodes"]]
+        p_prime = np.bincount(
+            prep["entry_nodes"][entry_match], minlength=num_high
+        ).astype(np.int64, copy=False)
+        return _outcome_from_arrays(
+            high, bins_high, d_prime, p_prime, prep["threshold"], last_bin
+        )
 
     def _prepare(self):
         import numpy as np

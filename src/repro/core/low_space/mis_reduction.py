@@ -13,6 +13,11 @@ When the original instance has ``n̂`` vertices and maximum degree
 ``n^{7δ}``, the reduction graph has ``O(n̂ · n^{7δ})`` vertices and maximum
 degree ``n^{14δ}`` — the sizes quoted in the paper.  To keep those bounds we
 first drop palette colors down to ``d(v) + 1`` per node (always safe).
+
+The builder queries the instance only through ``nodes()``, ``degree`` and
+``edges()``, all of which answer from the lazy array view on CSR-extracted
+children — reducing a bin instance to MIS never forces its Python
+adjacency sets to materialise.
 """
 
 from __future__ import annotations

@@ -38,8 +38,11 @@ class LowSpaceParameters:
     selection_max_candidates: int = 2048
     selection_batch_size: int = 16
     selection_use_batch: bool = True
-    #: Materialise bin instances through the CSR-backed extraction kernels
-    #: (bit-identical to the scalar reference; see
+    #: Route the graph-layer batch kernels: CSR-backed bin-instance
+    #: extraction, the selected pair's batched node-level classification
+    #: (:func:`repro.core.low_space.machine_sets.node_level_outcome_batch`)
+    #: and the vectorized palette restriction (bit-identical to the scalar
+    #: reference; see
     #: :attr:`repro.core.params.ColorReduceParameters.graph_use_batch`).
     graph_use_batch: bool = True
     mis_independence: int = 4

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from repro.core.classification import color_bin_arrays
 from repro.core.low_space.machine_sets import (
     MachineClassification,
     classify_machines,
@@ -163,9 +164,22 @@ class LowSpacePartition:
         selection = selector.select(cost, target_bound=target, charge=wrapped_charge)
         h1, h2 = selection.h1, selection.h2
 
-        outcome = node_level_outcome(
-            graph, palettes, high_degree_nodes, h1, h2, self.params, num_bins
-        )
+        # Post-selection classification rides the batch layer when
+        # graph_use_batch is on: the selected pair's node-level outcome is
+        # one more pass over the evaluator's static arrays (the very ones
+        # the batched selection scored its candidates on), and the palette
+        # restriction below is a vectorized label scatter.  The full color
+        # universe is hashed exactly once (color_bin_arrays) and shared by
+        # both.  Outcomes are identical to the scalar reference either way.
+        use_batch = self.params.graph_use_batch
+        color_arrays = None
+        if use_batch:
+            color_arrays = color_bin_arrays(palettes, h2, num_color_bins)
+            outcome = cost.outcome_selected(h1, h2, color_arrays=color_arrays)
+        else:
+            outcome = node_level_outcome(
+                graph, palettes, high_degree_nodes, h1, h2, self.params, num_bins
+            )
         machine_classification = None
         if classify_machine_level:
             machine_classification = classify_machines(
@@ -187,28 +201,37 @@ class LowSpacePartition:
         ]
         subgraphs = graph.induced_subgraphs(
             [low_degree_nodes.union(violating)] + bin_members,
-            use_csr=self.params.graph_use_batch,
+            use_csr=use_batch,
         )
         low_degree_graph = subgraphs[0]
 
-        color_bin_cache: Dict[int, BinIndex] = {}
+        if use_batch:
+            universe, color_bin_ids = color_arrays
+            restricted = palettes.restricted_by_bins(
+                bin_members[:num_color_bins], universe, color_bin_ids
+            )
+        else:
+            color_bin_cache: Dict[int, BinIndex] = {}
 
-        def color_bin(color: int) -> BinIndex:
-            if color not in color_bin_cache:
-                color_bin_cache[color] = h2(color % h2.domain_size) % num_color_bins
-            return color_bin_cache[color]
+            def color_bin(color: int) -> BinIndex:
+                if color not in color_bin_cache:
+                    color_bin_cache[color] = h2(color % h2.domain_size) % num_color_bins
+                return color_bin_cache[color]
 
+            restricted = [
+                palettes.restricted_to(
+                    bin_members[bin_index],
+                    keep_color=lambda color, b=bin_index: color_bin(color) == b,
+                )
+                for bin_index in range(num_color_bins)
+            ]
         color_bins: List[ColorBinInstance] = []
         for bin_index in range(num_color_bins):
-            members = bin_members[bin_index]
-            bin_palettes = palettes.restricted_to(
-                members, keep_color=lambda color, b=bin_index: color_bin(color) == b
-            )
             color_bins.append(
                 ColorBinInstance(
                     bin_index=bin_index,
                     graph=subgraphs[1 + bin_index],
-                    palettes=bin_palettes,
+                    palettes=restricted[bin_index],
                 )
             )
         leftover_members = bin_members[last_bin]

@@ -75,13 +75,18 @@ class ColorReduceParameters:
         (bit-identical outcomes; disable to force the scalar reference
         path, e.g. for benchmarking the kernels themselves).
     graph_use_batch:
-        Materialise bin instances (and capacity-split pieces) through the
-        CSR-backed subgraph-extraction kernels
-        (:func:`repro.graph.csr.split_by_bins` /
-        :func:`repro.graph.csr.extract_induced`) instead of the scalar
-        per-neighbor set loops.  Bit-identical outcomes — same node
-        insertion order, same adjacency sets, same colorings and recursion
-        trees; disable to force the scalar reference extraction.
+        Route the graph-layer batch kernels: bin instances (and
+        capacity-split pieces) materialise through the CSR-backed
+        subgraph-extraction kernels (:func:`repro.graph.csr.split_by_bins` /
+        :func:`repro.graph.csr.extract_induced`), the *selected* pair's
+        final classification runs through
+        :func:`repro.core.classification.classify_partition_batch`, and the
+        color-bin palette restriction through the vectorized
+        :meth:`repro.graph.palettes.PaletteAssignment.restricted_by_bins`
+        — instead of the scalar per-neighbor/per-color Python loops.
+        Bit-identical outcomes — same node insertion order, same adjacency
+        sets, same classifications, same colorings and recursion trees;
+        disable to force the scalar reference paths.
     enforce_palette_surplus:
         If True (default), any node whose restricted palette does not exceed
         its in-bin degree is reclassified as bad.  With the paper exponents

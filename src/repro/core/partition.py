@@ -120,6 +120,7 @@ class Partition:
         context: Optional[ExecutionContext] = None,
         strategy: Optional[SelectionStrategy] = None,
         salt: int = 0,
+        cost=None,
     ) -> SelectionOutcome:
         """Deterministically choose ``(h1, h2)`` meeting the Lemma 3.9 bound.
 
@@ -129,10 +130,14 @@ class Partition:
         since a child instance lies entirely in one bin of its parent's hash —
         would put the whole child back into a single bin.  The salt is a
         deterministic per-call counter, so deterministic strategies remain
-        deterministic.
+        deterministic.  ``cost`` may pass a pre-built
+        :class:`~repro.core.classification.PartitionCostEvaluator` so
+        :meth:`run` can reuse its static arrays for the selected pair's
+        final classification.
         """
         family1, family2 = self.build_families(graph, palettes, ell, global_nodes)
-        cost = partition_cost_function(graph, palettes, self.params, ell, global_nodes)
+        if cost is None:
+            cost = partition_cost_function(graph, palettes, self.params, ell, global_nodes)
         selector = HashPairSelector(
             family1,
             family2,
@@ -165,17 +170,36 @@ class Partition:
         communication of actually redistributing the data; this method
         charges only the hash-selection steps (via ``context``).
         """
+        cost = partition_cost_function(graph, palettes, self.params, ell, global_nodes)
         selection = self.select_hash_pair(
-            graph, palettes, ell, global_nodes, context=context, strategy=strategy, salt=salt
+            graph,
+            palettes,
+            ell,
+            global_nodes,
+            context=context,
+            strategy=strategy,
+            salt=salt,
+            cost=cost,
         )
         h1, h2 = selection.h1, selection.h2
-        classification = classify_partition(
-            graph, palettes, h1, h2, self.params, ell, global_nodes
-        )
+        use_batch = self.params.graph_use_batch
+        num_color_bins = max(1, self.params.num_bins(ell) - 1)
+        # Post-selection classification and palette restriction both ride the
+        # batch layer when graph_use_batch is on: one fused pass over the
+        # evaluator's static arrays (the very ones the batched selection
+        # scored its candidates on — CSR view, flattened palette entries)
+        # yields the classification and every color bin's restricted
+        # palettes.  Outcomes are identical to the scalar reference either
+        # way.
+        restricted: Optional[List[PaletteAssignment]] = None
+        if use_batch:
+            classification, restricted = cost.classify_selected(h1, h2)
+        else:
+            classification = classify_partition(
+                graph, palettes, h1, h2, self.params, ell, global_nodes
+            )
         num_bins = classification.num_bins
-        num_color_bins = max(1, num_bins - 1)
         last_bin = num_bins - 1
-        colors_to_bins = color_bin_map(palettes, h2, num_color_bins)
 
         # Materialise every bin instance of this level in one batched pass
         # over the CSR view (split_by_bins); with graph_use_batch off, the
@@ -188,21 +212,26 @@ class Partition:
         ]
         subgraphs = graph.induced_subgraphs(
             [classification.bad_nodes] + bin_members,
-            use_csr=self.params.graph_use_batch,
+            use_csr=use_batch,
         )
         bad_graph = subgraphs[0]
 
         color_bins: List[ColorBinInstance] = []
+        if restricted is None:
+            colors_to_bins = color_bin_map(palettes, h2, num_color_bins)
+            restricted = [
+                palettes.restricted_to(
+                    bin_members[bin_index],
+                    keep_color=lambda color, b=bin_index: colors_to_bins[color] == b,
+                )
+                for bin_index in range(num_color_bins)
+            ]
         for bin_index in range(num_color_bins):
-            members = bin_members[bin_index]
-            bin_palettes = palettes.restricted_to(
-                members, keep_color=lambda color, b=bin_index: colors_to_bins[color] == b
-            )
             color_bins.append(
                 ColorBinInstance(
                     bin_index=bin_index,
                     graph=subgraphs[1 + bin_index],
-                    palettes=bin_palettes,
+                    palettes=restricted[bin_index],
                 )
             )
 

@@ -109,6 +109,9 @@ class GraphCSR:
 def build_csr(adjacency: Dict[NodeId, "set"]) -> GraphCSR:
     """Build a :class:`GraphCSR` from an adjacency-set mapping.
 
+    For ``n`` nodes and ``m`` undirected edges the view holds ``node_ids``
+    of length ``n``, ``indptr`` of shape ``(n + 1,)``, and ``indices`` /
+    ``edge_sources`` of shape ``(2m,)`` (one entry per *directed* edge).
     Neighbor lists are sorted by *position* so the layout is deterministic
     for a given insertion order (the batched and scalar cost paths then
     traverse edges in a fixed order).
@@ -214,7 +217,11 @@ def extract_induced(csr: GraphCSR, kept_ids: Sequence[NodeId]) -> GraphCSR:
     filter unknown ids first); their order becomes the child's node order.
     The kernel gathers only the kept rows' neighbor runs, drops neighbors
     outside the subset with one reindex lookup, and assembles a canonical
-    child view — no per-neighbor Python set membership tests.
+    child view (``len(kept_ids)`` nodes) — no per-neighbor Python set
+    membership tests.  Scalar reference:
+    ``Graph._induced_from_keep`` (the per-neighbor loop behind
+    ``Graph.induced_subgraph(..., use_csr=False)``); the child equals what
+    :func:`build_csr` would produce from that graph's adjacency sets.
     """
     old_positions = _positions_of(csr, kept_ids)
     new_of_old = np.full(csr.num_nodes, -1, dtype=np.int64)
@@ -235,8 +242,11 @@ def split_by_bins(
     child gathers only its own members' neighbor runs, keeps the same-label
     edges, and key-sorts its own (much smaller) edge set into the canonical
     layout — total work one pass over the level's directed edges plus the
-    per-child sorts.  Group order defines the children's order; each
-    group's id order defines its child's node order.  Raises
+    per-child sorts.  Returns ``len(groups)`` child views; group order
+    defines the children's order, and each group's id order defines its
+    child's node order.  Scalar reference: one
+    ``Graph._induced_from_keep`` call per group
+    (``Graph.induced_subgraphs(..., use_csr=False)``).  Raises
     :class:`~repro.errors.GraphError` if the groups overlap (or a group
     repeats an id) — a label scatter cannot represent overlapping bins.
     """
@@ -270,10 +280,11 @@ def split_by_bins(
 def degrees_within(csr: GraphCSR, kept_ids: Sequence[NodeId]) -> np.ndarray:
     """Induced-subgraph degrees of ``kept_ids`` (aligned with its order).
 
-    One membership mask plus one bincount over the directed edges whose
-    endpoints both lie in the subset — the vectorized replacement for the
-    per-neighbor set-membership scan of the scalar
-    ``Graph.subgraph_degrees_within`` path.
+    Returns an int64 array of shape ``(len(kept_ids),)``.  One membership
+    mask plus one bincount over the directed edges whose endpoints both lie
+    in the subset — the vectorized replacement for the per-neighbor
+    set-membership scan of the scalar
+    ``Graph.subgraph_degrees_within(..., use_csr=False)`` path.
     """
     old_positions = _positions_of(csr, kept_ids)
     mask = np.zeros(csr.num_nodes, dtype=bool)

@@ -172,8 +172,25 @@ class Graph:
         return list(self._adj_store)
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over edges as ``(u, v)`` with ``u < v``."""
-        for u, neigh in self._adj.items():
+        """Iterate over edges as ``(u, v)`` with ``u < v``.
+
+        On a lazily-backed graph (:meth:`_from_csr`) the edges are read
+        straight off the array view, so consumers such as the MIS reduction
+        (:mod:`repro.core.low_space.mis_reduction`) never force adjacency
+        materialisation.  Iteration *order* may differ between the two
+        backings; the edge *set* is identical.
+        """
+        if self._adj_store is None:
+            view = self._csr
+            ids = view.node_ids
+            sources = view.edge_sources.tolist()
+            targets = view.indices.tolist()
+            for i, j in zip(sources, targets):
+                u, v = ids[i], ids[j]
+                if u < v:
+                    yield (u, v)
+            return
+        for u, neigh in self._adj_store.items():
             for v in neigh:
                 if u < v:
                     yield (u, v)
@@ -193,12 +210,25 @@ class Graph:
         """Iterate over the neighbors of ``node`` without copying the set.
 
         The no-copy counterpart of :meth:`neighbors` for hot loops that only
-        scan (classification, palette updates, MIS sweeps).  The iterator
-        reads the live adjacency set: do not mutate the graph while holding
-        it.
+        scan (classification, palette updates, MIS sweeps).  On a
+        lazily-backed graph (:meth:`_from_csr`) the neighbor run is read
+        straight off the array view, so scanning consumers — the greedy
+        local coloring, palette updates, the MIS sweeps — never force
+        adjacency materialisation.  Iteration *order* may differ between the
+        two backings; the neighbor *set* is identical.  The iterator reads
+        live storage: do not mutate the graph while holding it.
         """
+        if self._adj_store is None:
+            view = self._csr
+            try:
+                pos = view.position[node]
+            except KeyError as exc:
+                raise GraphError(f"unknown node {node}") from exc
+            ids = view.node_ids
+            run = view.indices[view.indptr[pos] : view.indptr[pos + 1]].tolist()
+            return (ids[j] for j in run)
         try:
-            return iter(self._adj[node])
+            return iter(self._adj_store[node])
         except KeyError as exc:
             raise GraphError(f"unknown node {node}") from exc
 

@@ -11,7 +11,10 @@ The paper distinguishes three problem variants (Section 1):
 provides exactly the operations the algorithms perform on them:
 
 * restriction to the colors a hash function maps to a given bin
-  (``Partition`` / ``LowSpacePartition``),
+  (``Partition`` / ``LowSpacePartition``) — per bin via
+  :meth:`PaletteAssignment.restricted_to`, or for a whole partition level
+  at once via the vectorized
+  :meth:`PaletteAssignment.restricted_by_bins`,
 * removal of colors already used by colored neighbors (the two
   "update color palettes" steps in ``ColorReduce``),
 * size queries ``p(v)`` used by the good/bad node classification.
@@ -19,11 +22,40 @@ provides exactly the operations the algorithms perform on them:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro.errors import PaletteError
 from repro.graph.graph import Graph
 from repro.types import Color, ColoringMap, NodeId
+
+
+def color_bins_of_entries(np, universe, universe_bins, flat_colors):
+    """Color bin of every flattened palette entry (one gather).
+
+    ``universe`` is the *sorted* color universe (``(U,)`` int64) and
+    ``universe_bins`` the aligned bin of each universe color; the result is
+    ``universe_bins[position_of(color)]`` for every entry of
+    ``flat_colors``.  When the universe is (nearly) contiguous — the common
+    ``{0..Δ}``-style instance — a direct lookup table replaces the
+    ``searchsorted``.  Shared by the batched classification kernels
+    (:mod:`repro.core.classification`,
+    :mod:`repro.core.low_space.machine_sets`), whose flattened entries are
+    guaranteed to lie in the universe; entries outside it land on arbitrary
+    bins (:meth:`PaletteAssignment.restricted_by_bins` validates membership
+    explicitly instead, reusing its own lookup).
+    """
+    size = universe.shape[0]
+    if size == 0:
+        return np.zeros(0, dtype=np.int64)
+    base = int(universe[0])
+    span = int(universe[-1]) - base + 1
+    if span <= 4 * size + 64:
+        table = np.zeros(span, dtype=np.int64)
+        table[universe - base] = universe_bins
+        clipped = np.clip(flat_colors - base, 0, span - 1)
+        return table[clipped]
+    positions = np.searchsorted(universe, flat_colors)
+    return universe_bins[np.minimum(positions, size - 1)]
 
 
 class PaletteAssignment:
@@ -61,6 +93,19 @@ class PaletteAssignment:
         """Arbitrary list-coloring palettes."""
         return cls(palettes)
 
+    @classmethod
+    def _adopt(cls, palettes: Dict[NodeId, Set[Color]]) -> "PaletteAssignment":
+        """Wrap an already-built ``node -> color set`` dict without copying.
+
+        For the batch kernels, which assemble fresh per-node sets
+        themselves (:meth:`restricted_by_bins`, the fused classification
+        path); the caller must hand over ownership — the dict and its sets
+        must not be mutated afterwards.
+        """
+        assignment = cls({})
+        assignment._palettes = palettes
+        return assignment
+
     def copy(self) -> "PaletteAssignment":
         """Deep copy (palette sets are duplicated)."""
         return PaletteAssignment(self._palettes)
@@ -82,6 +127,20 @@ class PaletteAssignment:
         """A copy of the palette of ``node``."""
         try:
             return set(self._palettes[node])
+        except KeyError as exc:
+            raise PaletteError(f"node {node} has no palette") from exc
+
+    def iter_palette(self, node: NodeId) -> Iterable[Color]:
+        """Iterate the palette of ``node`` without copying the set.
+
+        The no-copy counterpart of :meth:`palette` for hot loops that only
+        scan (the batched classification and palette-restriction kernels
+        flatten every palette once per partition level).  The iterator
+        reads the live palette set: do not mutate the assignment while
+        holding it.
+        """
+        try:
+            return iter(self._palettes[node])
         except KeyError as exc:
             raise PaletteError(f"node {node} has no palette") from exc
 
@@ -137,6 +196,83 @@ class PaletteAssignment:
     def subset(self, nodes: Iterable[NodeId]) -> "PaletteAssignment":
         """A new assignment containing only ``nodes`` (palettes unchanged)."""
         return self.restricted_to(nodes, keep_color=None)
+
+    def restricted_by_bins(
+        self,
+        bin_members: Sequence[Iterable[NodeId]],
+        universe: "np.ndarray",
+        color_bin_ids: "np.ndarray",
+    ) -> List["PaletteAssignment"]:
+        """Restrict every color bin's palettes in one vectorized pass.
+
+        The batched counterpart of calling :meth:`restricted_to` once per
+        color bin with ``keep_color=lambda c: color_bin(c) == b`` — the
+        biggest remaining Python loop of ``Partition.run`` /
+        ``LowSpacePartition.run``.  ``bin_members[b]`` lists the nodes of
+        color bin ``b``; ``universe`` is the *sorted* color universe (shape
+        ``(U,)``, int64) and ``color_bin_ids[k]`` the bin that ``h2`` maps
+        ``universe[k]`` to (as produced by
+        :func:`repro.core.classification.color_bin_arrays`).  Every member
+        palette is flattened once, each entry's bin resolved with one
+        ``searchsorted`` + gather, and the per-node sets rebuilt from the
+        kept entries — no per-color Python predicate calls.
+
+        Returns one :class:`PaletteAssignment` per group, equal (same nodes,
+        same palette *sets*) to the scalar ``restricted_to`` result.  Raises
+        :class:`PaletteError` if a member has no palette or a member color is
+        missing from ``universe``.
+        """
+        import itertools
+
+        import numpy as np
+
+        groups: List[List[NodeId]] = [list(members) for members in bin_members]
+        flat_nodes: List[NodeId] = [node for members in groups for node in members]
+        palettes: List[Set[Color]] = []
+        for node in flat_nodes:
+            try:
+                palettes.append(self._palettes[node])
+            except KeyError as exc:
+                raise PaletteError(f"node {node} has no palette") from exc
+        sizes = np.fromiter(
+            (len(colors) for colors in palettes), dtype=np.int64, count=len(palettes)
+        )
+        total = int(sizes.sum())
+        flat_colors = np.fromiter(
+            itertools.chain.from_iterable(palettes), dtype=np.int64, count=total
+        )
+        entry_owner = np.repeat(np.arange(len(flat_nodes), dtype=np.int64), sizes)
+        node_group = np.repeat(
+            np.arange(len(groups), dtype=np.int64),
+            np.fromiter(
+                (len(members) for members in groups), dtype=np.int64, count=len(groups)
+            ),
+        )
+        owner_bin = node_group[entry_owner]
+        positions = np.searchsorted(universe, flat_colors)
+        if total and (
+            bool((positions >= universe.shape[0]).any())
+            or not bool(np.array_equal(universe[np.minimum(positions, universe.shape[0] - 1)], flat_colors))
+        ):
+            raise PaletteError("restricted_by_bins: a member color is missing from the universe")
+        keep = color_bin_ids[np.minimum(positions, max(universe.shape[0] - 1, 0))] == owner_bin
+        kept_colors = flat_colors[keep].tolist()
+        kept_counts = np.bincount(entry_owner[keep], minlength=len(flat_nodes))
+        bounds = np.zeros(len(flat_nodes) + 1, dtype=np.int64)
+        np.cumsum(kept_counts, out=bounds[1:])
+        # Per-node set rebuilding goes through plain lists: NumPy scalar
+        # indexing would dominate this final loop.
+        bounds_list = bounds.tolist()
+        results: List[PaletteAssignment] = []
+        cursor = 0
+        for members in groups:
+            restricted: Dict[NodeId, Set[Color]] = {}
+            for node in members:
+                start, end = bounds_list[cursor], bounds_list[cursor + 1]
+                restricted[node] = set(kept_colors[start:end])
+                cursor += 1
+            results.append(PaletteAssignment._adopt(restricted))
+        return results
 
     def remove_colors_used_by_neighbors(
         self,

@@ -117,7 +117,10 @@ def evaluate_polynomial_many(
 def range_reduce_many(values: np.ndarray, range_size: int, prime: int) -> np.ndarray:
     """Interval range reduction ``(value * range_size) // prime``, vectorized.
 
-    Matches :meth:`repro.hashing.family.HashFunction.__call__` exactly; for
+    ``values`` is any array of field values (``(m,)`` or ``(num_seeds, m)``
+    — the shape is preserved); entries land in ``[0, range_size)``.
+    Scalar reference: the range-reduction step of
+    :meth:`repro.hashing.family.HashFunction.__call__`, matched exactly; for
     ``prime < 2**31`` the product stays below ``2**62`` so int64 suffices,
     otherwise the values are already ``object`` dtype (exact Python ints).
     """
@@ -133,7 +136,18 @@ def hash_many(
     prime: int,
     range_size: int,
 ) -> np.ndarray:
-    """Hash all ``xs`` into ``[range_size]``: evaluation plus range reduction."""
+    """Hash all ``xs`` into ``[range_size]``: evaluation plus range reduction.
+
+    Shapes follow :func:`evaluate_polynomial_many`: ``(m,)`` for a single
+    ``(k,)`` coefficient vector, ``(num_seeds, m)`` for a coefficient
+    matrix.  Scalar reference:
+    :meth:`repro.hashing.family.HashFunction.__call__` — every entry equals
+    ``HashFunction(...)(x)`` exactly (inputs must already be reduced into
+    the domain, as the object-level wrappers
+    :meth:`~repro.hashing.family.HashFunction.hash_many` /
+    :meth:`~repro.hashing.family.KWiseIndependentFamily.hash_candidates`
+    do).
+    """
     return range_reduce_many(
         evaluate_polynomial_many(coefficients, xs, prime), range_size, prime
     )
@@ -148,9 +162,13 @@ def hash_bins(
 ) -> np.ndarray:
     """Candidate-by-input bin matrix, reduced ``% num_bins`` and narrowed.
 
-    The shared front half of both batched cost evaluators: vectorized hash
-    into ``[range_size]``, the scalar paths' defensive ``% num_bins``, and
-    dtype narrowing for the memory-bound gathers that follow.
+    Shape ``(num_seeds, num_xs)`` (or ``(num_xs,)`` for a single
+    coefficient vector).  The shared front half of both batched cost
+    evaluators: vectorized hash into ``[range_size]``, the scalar paths'
+    defensive ``% num_bins``, and dtype narrowing for the memory-bound
+    gathers that follow.  Scalar reference: ``h(x % domain) % num_bins`` as
+    computed by :func:`repro.core.classification.classify_partition` /
+    :func:`repro.core.low_space.machine_sets.node_level_outcome`.
     """
     return narrow_bins(hash_many(coefficients, xs, prime, range_size) % num_bins, num_bins)
 
@@ -158,9 +176,11 @@ def hash_bins(
 def narrow_bins(bins: np.ndarray, num_bins: int) -> np.ndarray:
     """Narrow a bin-label matrix to the smallest safe integer dtype.
 
-    The cost kernels' gathers are memory-bound; int8 moves an eighth of the
-    bytes of int64.  Shared by the Equation (1) and Equation (2) evaluators
-    so the dtype thresholds cannot drift apart.
+    Shape-preserving; values must lie in ``[0, num_bins)``.  The cost
+    kernels' gathers are memory-bound; int8 moves an eighth of the bytes of
+    int64.  Shared by the Equation (1) and Equation (2) evaluators so the
+    dtype thresholds cannot drift apart.  (Pure representation change — no
+    scalar counterpart; bin values are unchanged.)
     """
     if num_bins < 127:
         return bins.astype(np.int8)
@@ -172,10 +192,14 @@ def narrow_bins(bins: np.ndarray, num_bins: int) -> np.ndarray:
 def rowwise_bincount(values: np.ndarray, num_values: int) -> np.ndarray:
     """Per-row histogram of a ``(num_rows, m)`` integer matrix.
 
-    ``values[r, j]`` increments bucket ``result[r, values[r, j]]``.
+    ``values`` has shape ``(num_rows, m)`` with entries in
+    ``[0, num_values)``; the result has shape ``(num_rows, num_values)``
+    and ``values[r, j]`` increments bucket ``result[r, values[r, j]]``.
     Implemented as a single flattened :func:`numpy.bincount` with per-row
     offsets — the scatter primitive the batched cost kernels use for bin
-    sizes.  (Segmented sums over the CSR layout use the faster
+    sizes.  Scalar reference: one ``collections.Counter`` pass per row, as
+    the per-node classification's ``bin_sizes`` accumulation does.
+    (Segmented sums over the CSR layout use the faster
     :func:`segment_sum_rows` instead.)
     """
     if values.ndim != 2:

@@ -1,0 +1,81 @@
+"""Docs sanity: markdown links resolve and the quickstart CLI works.
+
+The CI docs job runs exactly this module (plus a bare ``--help`` probe),
+so a broken README link or an import error behind ``python -m repro``
+fails the build rather than the next reader.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "PAPER.md",
+    REPO_ROOT / "docs" / "ARCHITECTURE.md",
+]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _relative_links(path: Path):
+    """All relative (non-http, non-anchor) markdown link targets in a file."""
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_doc_exists(doc):
+    assert doc.is_file(), f"{doc} is missing"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    broken = [
+        target
+        for target in _relative_links(doc)
+        if target and not (doc.parent / target).exists()
+    ]
+    assert not broken, f"{doc.name} has broken relative links: {broken}"
+
+
+def test_readme_names_the_verify_command():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "python -m pytest -x -q" in readme  # the tier-1 command
+    assert "pip install -e ." in readme
+
+
+def _run_cli(*args):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=120,
+    )
+
+
+def test_cli_help_exits_zero():
+    result = _run_cli("--help")
+    assert result.returncode == 0, result.stderr
+    assert "repro" in result.stdout
+
+
+def test_cli_list_workloads_exits_zero():
+    result = _run_cli("list-workloads")
+    assert result.returncode == 0, result.stderr
+    assert "dense-random" in result.stdout

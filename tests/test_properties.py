@@ -261,3 +261,118 @@ class TestCSRExtractionDifferential:
         assert (rebuilt.indptr == cached.indptr).all()
         assert (rebuilt.indices == cached.indices).all()
         assert (rebuilt.degrees == cached.degrees).all()
+
+
+# ----------------------------------------------------------------------
+# batched final classification / palette restriction vs the scalar path
+# ----------------------------------------------------------------------
+@st.composite
+def partition_instances(draw):
+    """A graph with non-contiguous ids, (Δ+1)-list palettes and a hash pair.
+
+    Ids are spread out (``7 * id + offset``) so the batched kernels cannot
+    rely on positions and identifiers coinciding; palettes draw from a
+    shifted universe so color-universe handling is exercised too.
+    """
+    base = draw(graphs(max_nodes=25))
+    stride = draw(st.integers(min_value=1, max_value=7))
+    offset = draw(st.integers(min_value=0, max_value=13))
+    graph = Graph(
+        nodes=(stride * node + offset for node in base.nodes()),
+        edges=((stride * u + offset, stride * v + offset) for u, v in base.edges()),
+    )
+    delta = graph.max_degree()
+    extra = draw(st.integers(min_value=1, max_value=3))
+    rng = draw(st.randoms(use_true_random=False))
+    universe = list(range(3 * (delta + extra) + 2))
+    palettes = PaletteAssignment.from_lists(
+        {node: rng.sample(universe, delta + extra) for node in graph.nodes()}
+    )
+    seed1 = draw(st.integers(min_value=0, max_value=2**20))
+    seed2 = draw(st.integers(min_value=0, max_value=2**20))
+    return graph, palettes, seed1, seed2
+
+
+class TestBatchedFinalClassificationDifferential:
+    @staticmethod
+    def _hash_pair(graph, palettes, num_bins, seed1, seed2):
+        node_domain = max(graph.num_nodes, max(graph.nodes(), default=0) + 1, 2)
+        universe = palettes.color_universe()
+        color_domain = max(node_domain * node_domain, max(universe, default=0) + 1)
+        family1 = KWiseIndependentFamily(
+            domain_size=node_domain, range_size=num_bins, independence=4
+        )
+        family2 = KWiseIndependentFamily(
+            domain_size=color_domain, range_size=max(1, num_bins - 1), independence=4
+        )
+        return family1.from_seed_int(seed1), family2.from_seed_int(seed2)
+
+    @SETTINGS
+    @given(partition_instances())
+    def test_classify_partition_batch_matches_scalar(self, data):
+        from repro.core.classification import (
+            classify_partition,
+            classify_partition_batch,
+        )
+
+        graph, palettes, seed1, seed2 = data
+        params = ColorReduceParameters.scaled(num_bins=3)
+        ell = max(float(graph.max_degree()), 2.0)
+        h1, h2 = self._hash_pair(graph, palettes, params.num_bins(ell), seed1, seed2)
+        expected = classify_partition(
+            graph, palettes, h1, h2, params, ell, max(graph.num_nodes, 1)
+        )
+        actual = classify_partition_batch(
+            graph, palettes, h1, h2, params, ell, max(graph.num_nodes, 1)
+        )
+        assert actual.bin_of_node == expected.bin_of_node
+        assert actual.bin_sizes == expected.bin_sizes
+        assert actual.bad_bins == expected.bad_bins
+        assert actual.bad_nodes == expected.bad_nodes
+        assert actual.nodes == expected.nodes
+
+    @SETTINGS
+    @given(partition_instances(), st.integers(min_value=1, max_value=4))
+    def test_restricted_by_bins_matches_restricted_to(self, data, num_color_bins):
+        from repro.core.classification import color_bin_arrays, color_bin_map
+
+        graph, palettes, seed1, seed2 = data
+        _, h2 = self._hash_pair(graph, palettes, num_color_bins + 1, seed1, seed2)
+        nodes = graph.nodes()
+        # Partition-shaped groups: disjoint, possibly empty, not covering.
+        bin_members = [
+            [node for index, node in enumerate(nodes) if index % (num_color_bins + 1) == b]
+            for b in range(num_color_bins)
+        ]
+        colors_to_bins = color_bin_map(palettes, h2, num_color_bins)
+        expected = [
+            palettes.restricted_to(
+                members, keep_color=lambda color, b=index: colors_to_bins[color] == b
+            )
+            for index, members in enumerate(bin_members)
+        ]
+        universe, color_bin_ids = color_bin_arrays(palettes, h2, num_color_bins)
+        actual = palettes.restricted_by_bins(bin_members, universe, color_bin_ids)
+        assert len(actual) == len(expected)
+        for exp, act in zip(expected, actual):
+            assert act.nodes() == exp.nodes()
+            for node in exp.nodes():
+                assert act.palette(node) == exp.palette(node)
+
+    @SETTINGS
+    @given(sparse_graphs_with_subsets())
+    def test_lazy_view_greedy_matches_materialised(self, data):
+        from repro.core.local_coloring import greedy_list_coloring
+
+        graph, subset = data
+        graph.csr()
+        lazy = graph.induced_subgraph(subset, use_csr=True)
+        scalar = graph.induced_subgraph(subset, use_csr=False)
+        lazy_coloring = greedy_list_coloring(
+            lazy, PaletteAssignment.degree_plus_one(lazy)
+        )
+        assert lazy._adj_store is None  # the sweep never materialises
+        scalar_coloring = greedy_list_coloring(
+            scalar, PaletteAssignment.degree_plus_one(scalar)
+        )
+        assert lazy_coloring == scalar_coloring
