@@ -1,0 +1,22 @@
+"""Machine-readable benchmark records (``BENCH_p<k>.json``).
+
+Each ``bench_p*`` benchmark calls :func:`emit_bench_json` with one record
+per measured operation so the perf trajectory exists as data, not just
+stdout text; the CI smoke job uploads the files as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def emit_bench_json(key: str, records) -> Path:
+    """Write ``BENCH_<key>.json`` at the repository root.
+
+    ``records`` is a list of dicts, one per measured operation, each with
+    at least ``op``, ``n``, ``scalar_s``, ``batch_s`` and ``speedup``.
+    """
+    path = Path(__file__).resolve().parent.parent / f"BENCH_{key}.json"
+    path.write_text(json.dumps(records, indent=2) + "\n")
+    return path

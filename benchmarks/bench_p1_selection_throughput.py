@@ -174,6 +174,28 @@ def test_p1_selection_throughput(benchmark, experiment_scale):
     benchmark.extra_info["conditional_expectation_speedup"] = round(ce_speedup, 2)
     benchmark.extra_info["identical_selection"] = identical and ce_identical
 
+    from bench_json import emit_bench_json
+
+    emit_bench_json(
+        "p1",
+        [
+            {
+                "op": "first-feasible-scan",
+                "n": graph.num_nodes,
+                "scalar_s": round(scalar_scan, 5),
+                "batch_s": round(batched_scan, 5),
+                "speedup": round(scan_speedup, 2),
+            },
+            {
+                "op": "conditional-expectation",
+                "n": graph.num_nodes,
+                "scalar_s": round(scalar_ce, 5),
+                "batch_s": round(batched_ce, 5),
+                "speedup": round(ce_speedup, 2),
+            },
+        ],
+    )
+
     print()
     print("P1: derandomized seed-search throughput (batched kernels vs scalar)")
     print(

@@ -138,6 +138,28 @@ def test_p2_subgraph_extraction(benchmark, experiment_scale):
     benchmark.extra_info["consumed_speedup"] = round(consumed_speedup, 2)
     benchmark.extra_info["identical_children"] = identical
 
+    from bench_json import emit_bench_json
+
+    emit_bench_json(
+        "p2",
+        [
+            {
+                "op": "bin-instance-construction",
+                "n": graph.num_nodes,
+                "scalar_s": round(scalar_seconds, 5),
+                "batch_s": round(batched_seconds, 5),
+                "speedup": round(speedup, 2),
+            },
+            {
+                "op": "construction-plus-consumption",
+                "n": graph.num_nodes,
+                "scalar_s": round(scalar_consumed, 5),
+                "batch_s": round(batched_consumed, 5),
+                "speedup": round(consumed_speedup, 2),
+            },
+        ],
+    )
+
     print()
     print("P2: bin-instance construction throughput (CSR extraction vs scalar)")
     print(

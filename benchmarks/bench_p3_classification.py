@@ -146,6 +146,21 @@ def test_p3_final_classification(benchmark, experiment_scale):
     benchmark.extra_info["speedup"] = round(speedup, 2)
     benchmark.extra_info["identical_outputs"] = identical
 
+    from bench_json import emit_bench_json
+
+    emit_bench_json(
+        "p3",
+        [
+            {
+                "op": "classify-and-restrict",
+                "n": graph.num_nodes,
+                "scalar_s": round(scalar_seconds, 5),
+                "batch_s": round(batched_seconds, 5),
+                "speedup": round(speedup, 2),
+            }
+        ],
+    )
+
     print()
     print("P3: post-selection classify + palette restriction (batched vs scalar)")
     print(

@@ -137,7 +137,13 @@ def color_bin_arrays(
     """
     import numpy as np
 
-    universe = np.asarray(sorted(palettes.color_universe()), dtype=np.int64)
+    store = palettes._store_if_warm()
+    if store is not None:
+        # The assignment's array store caches its sorted unique colors:
+        # identical to sorted(color_universe()) with no per-palette union.
+        universe = store.universe()
+    else:
+        universe = np.asarray(sorted(palettes.color_universe()), dtype=np.int64)
     if universe.shape[0] == 0:
         return universe, np.zeros(0, dtype=np.int64)
     bins = np.asarray(h2.hash_many(universe.tolist())) % num_color_bins
@@ -281,8 +287,6 @@ def _classify_partition_arrays(
     entry owners, universe positions, palette sizes) are reused and no
     palette is flattened again.
     """
-    import itertools
-
     import numpy as np
 
     num_bins = params.num_bins(ell)
@@ -328,29 +332,41 @@ def _classify_partition_arrays(
         entry_owners = prep["entry_nodes"]
         entry_positions = prep["entry_colors"]
         entry_bins = universe_bins[entry_positions]
+        entries_sorted = bool(prep.get("entries_sorted"))
         flat_colors = None
     else:
+        # Standalone entry points flatten through the assignment's shared
+        # array store (one gather; sets-backed fallback for colors beyond
+        # int64), so repeated calls stop re-paying the per-color loop.
+        from repro.hashing.batch import BatchCostEvaluatorBase
+
+        entries = BatchCostEvaluatorBase.palette_entry_arrays(palettes, node_ids)
+        palette_sizes = entries["sizes"]
+        entry_owners = entries["entry_nodes"]
+        entries_sorted = entries["sorted_entries"]
         if color_arrays is None:
-            color_arrays = color_bin_arrays(palettes, h2, num_color_bins)
-        universe, universe_bins = color_arrays
-        # Flatten every palette exactly once; the entry arrays feed both the
-        # in-bin palette counts and (optionally) the restricted palettes.
-        palette_sizes = np.fromiter(
-            (palettes.palette_size(node) for node in node_ids),
-            dtype=np.int64,
-            count=num_nodes,
-        )
-        total_entries = int(palette_sizes.sum())
-        flat_colors = np.fromiter(
-            itertools.chain.from_iterable(
-                palettes.iter_palette(node) for node in node_ids
-            ),
-            dtype=np.int64,
-            count=total_entries,
-        )
-        entry_owners = np.repeat(np.arange(num_nodes, dtype=np.int64), palette_sizes)
-        entry_positions = None
-        entry_bins = color_bins_of_entries(np, universe, universe_bins, flat_colors)
+            universe = entries["universe_array"]
+            if universe is None:
+                universe = np.asarray(entries["universe"], dtype=np.int64)
+            universe_bins = (
+                (np.asarray(h2.hash_many(universe.tolist())) % num_color_bins).astype(
+                    np.int64, copy=False
+                )
+                if universe.shape[0]
+                else np.zeros(0, dtype=np.int64)
+            )
+            entry_positions = entries["entry_positions"]
+            entry_bins = universe_bins[entry_positions]
+            flat_colors = None
+        else:
+            universe, universe_bins = color_arrays
+            flat_colors = entries["flat_colors"]
+            if not isinstance(flat_colors, np.ndarray):
+                flat_colors = np.fromiter(
+                    flat_colors, dtype=np.int64, count=int(palette_sizes.sum())
+                )
+            entry_positions = None
+            entry_bins = color_bins_of_entries(np, universe, universe_bins, flat_colors)
     entry_match = entry_bins == bins1[entry_owners]
     matched_owners = entry_owners[entry_match]
     in_bin_palette = np.bincount(matched_owners, minlength=num_nodes).astype(
@@ -385,21 +401,6 @@ def _classify_partition_arrays(
         bad_bins=bad_bins,
         bin_sizes=bin_sizes,
     )
-    if collect_restricted:
-        if flat_colors is not None:
-            kept_colors = flat_colors[entry_match].tolist()
-        else:
-            kept_colors = universe[entry_positions[entry_match]].tolist()
-        # Per-node kept counts are exactly the in-bin palette sizes.
-        kept_bounds = np.zeros(num_nodes + 1, dtype=np.int64)
-        np.cumsum(in_bin_palette, out=kept_bounds[1:])
-        kept_bounds = kept_bounds.tolist()
-        restricted: Optional[List[Dict[NodeId, Set[Color]]]] = [
-            {} for _ in range(num_color_bins)
-        ]
-    else:
-        kept_colors = kept_bounds = None
-        restricted = None
     rows = zip(
         node_ids,
         bins1_list,
@@ -411,17 +412,11 @@ def _classify_partition_arrays(
         is_good.tolist(),
     )
     nodes = classification.nodes
-    index = 0
     for node, node_bin, degree, d_prime, p_size, p_prime, in_color, good in rows:
         nodes[node] = NodeClassification(
             node, node_bin, degree, d_prime, p_size,
             p_prime if in_color else None, good, "",
         )
-        if restricted is not None and good and in_color:
-            restricted[node_bin][node] = set(
-                kept_colors[kept_bounds[index] : kept_bounds[index + 1]]
-            )
-        index += 1
     bad_nodes = classification.bad_nodes
     for index in np.flatnonzero(~is_good).tolist():
         node = node_ids[index]
@@ -433,6 +428,58 @@ def _classify_partition_arrays(
         else:
             record.reason = "palette does not exceed in-bin degree"
         bad_nodes.add(node)
+
+    restricted: Optional[List[PaletteAssignment]] = None
+    if collect_restricted:
+        # Per-node kept counts are exactly the in-bin palette sizes, so the
+        # matched entries already form a CSR layout over the node order.
+        if flat_colors is not None:
+            kept_colors = flat_colors[entry_match]
+        else:
+            kept_colors = universe[entry_positions[entry_match]]
+        kept_bounds = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(in_bin_palette, out=kept_bounds[1:])
+        eligible = is_good & in_color_bin
+        restricted = []
+        if entries_sorted:
+            # Entries came from the palette store (sorted per node): every
+            # color bin's assignment adopts gathered slices of the kept
+            # array — the children are array-backed from birth, and carry
+            # the universe as their membership frame so the downstream
+            # palette updates keep their table path.
+            from repro.graph.csr import gather_segments
+
+            kept_positions = (
+                entry_positions[entry_match] if entry_positions is not None else None
+            )
+            for bin_index in range(num_color_bins):
+                bin_rows = np.flatnonzero(eligible & (bins1 == bin_index))
+                lengths, gather = gather_segments(kept_bounds, bin_rows)
+                offsets = np.zeros(bin_rows.shape[0] + 1, dtype=np.int64)
+                np.cumsum(lengths, out=offsets[1:])
+                restricted.append(
+                    PaletteAssignment._from_arrays(
+                        [node_ids[row] for row in bin_rows.tolist()],
+                        kept_colors[gather],
+                        offsets,
+                        frame=(
+                            (universe, kept_positions[gather])
+                            if kept_positions is not None
+                            else None
+                        ),
+                    )
+                )
+        else:
+            # Unsorted entries (sets-backed fallback): rebuild per-node sets.
+            kept_list = kept_colors.tolist()
+            bounds_list = kept_bounds.tolist()
+            for bin_index in range(num_color_bins):
+                members: Dict[NodeId, Set[Color]] = {}
+                for row in np.flatnonzero(eligible & (bins1 == bin_index)).tolist():
+                    members[node_ids[row]] = set(
+                        kept_list[bounds_list[row] : bounds_list[row + 1]]
+                    )
+                restricted.append(PaletteAssignment._adopt(members))
     return classification, restricted
 
 
@@ -506,18 +553,15 @@ def classify_and_restrict_batch(
     Returns ``(classification, restricted)`` where ``restricted[b]`` is the
     :class:`~repro.graph.palettes.PaletteAssignment` for color bin ``b``
     over ``classification.good_nodes_in_bin(b)`` (same node order, same
-    palette sets as the scalar ``restricted_to`` path).
+    palette sets as the scalar ``restricted_to`` path).  When the entries
+    came from the palette store the children are array-backed — they adopt
+    slices of the kept-entry compaction and materialise Python sets only
+    if someone asks.
     """
-    classification, kept = _classify_partition_arrays(
+    return _classify_partition_arrays(
         graph, palettes, h1, h2, params, ell, global_nodes, color_arrays,
         collect_restricted=True,
     )
-    return classification, _assignments_from_kept(kept)
-
-
-def _assignments_from_kept(kept: List[Dict[NodeId, Set[Color]]]) -> List[PaletteAssignment]:
-    """Wrap per-bin ``node -> kept colors`` dicts as palette assignments."""
-    return [PaletteAssignment._adopt(palettes_of_bin) for palettes_of_bin in kept]
 
 
 class PartitionCostEvaluator(BatchCostEvaluatorBase):
@@ -582,11 +626,10 @@ class PartitionCostEvaluator(BatchCostEvaluatorBase):
         prep = self._prep
         if prep is None or self._prep_is_stale(prep):
             prep = self._prepare()
-        classification, kept = _classify_partition_arrays(
+        return _classify_partition_arrays(
             self.graph, self.palettes, h1, h2, self.params, self.ell,
             self.global_nodes, None, collect_restricted=True, prep=prep,
         )
-        return classification, _assignments_from_kept(kept)
 
     # -- batched path ---------------------------------------------------
     def _prepare(self):
@@ -595,34 +638,21 @@ class PartitionCostEvaluator(BatchCostEvaluatorBase):
         params, ell = self.params, self.ell
         num_bins = params.num_bins(ell)
         csr = self.graph.csr()
-        universe = sorted(self.palettes.color_universe())
-        universe_array = np.asarray(universe, dtype=np.int64)
-        # Flatten every palette once, then resolve color -> universe position
-        # with one vectorized searchsorted instead of 98k dict lookups.
-        flat_colors: List[int] = []
-        for node in csr.node_ids:
-            flat_colors.extend(self.palettes.palette(node))
-        palette_sizes = np.fromiter(
-            (self.palettes.palette_size(node) for node in csr.node_ids),
-            dtype=np.int64,
-            count=len(csr.node_ids),
-        )
-        entry_indptr = np.zeros(len(csr.node_ids) + 1, dtype=np.int64)
-        np.cumsum(palette_sizes, out=entry_indptr[1:])
-        entry_nodes = np.repeat(
-            np.arange(len(csr.node_ids), dtype=np.int64), palette_sizes
-        )
-        entry_colors = np.searchsorted(
-            universe_array, np.asarray(flat_colors, dtype=np.int64)
-        )
+        # The flattened palette entries come from the assignment's shared
+        # array store (see ``palette_entry_arrays``): for children built by
+        # the batched restriction kernels the flat arrays already exist, so
+        # preparing the evaluator no longer re-flattens per Partition call.
+        entries = self.palette_entry_arrays(self.palettes, csr.node_ids)
         self._prep = {
             "np": np,
             "csr": csr,
-            "universe": universe,
-            "entry_nodes": entry_nodes,
-            "entry_colors": entry_colors,
-            "entry_indptr": entry_indptr,
-            "palette_sizes": palette_sizes,
+            "universe": entries["universe"],
+            "universe_array": entries["universe_array"],
+            "entry_nodes": entries["entry_nodes"],
+            "entry_colors": entries["entry_positions"],
+            "entry_indptr": entries["indptr"],
+            "palette_sizes": entries["sizes"],
+            "entries_sorted": entries["sorted_entries"],
             "num_bins": num_bins,
             "num_color_bins": max(1, num_bins - 1),
             "degree_slack": params.degree_slack(ell),

@@ -154,6 +154,11 @@ class ColorReduce:
         if palettes is None:
             palettes = PaletteAssignment.delta_plus_one(graph)
             palettes_are_implicit = True
+        if self.params.graph_use_batch:
+            # Warm the shared palette-entry store up front: the validation
+            # below vectorizes over it, and the root Partition's evaluator
+            # adopts the same flat arrays instead of re-flattening.
+            palettes.store()
         palettes.validate_for_graph(graph)
         context = self._context
         if context is None:
@@ -298,7 +303,7 @@ class ColorReduce:
         leftover = partition.leftover
         if not leftover.is_empty:
             leftover_palettes = leftover.palettes
-            removed = leftover_palettes.remove_colors_used_by_neighbors(graph, coloring)
+            removed = self._update_palettes(leftover_palettes, graph, coloring)
             update_rounds = state.context.record_palette_update(
                 max(removed, 1), label="palette-update"
             )
@@ -312,8 +317,9 @@ class ColorReduce:
 
         # --- bad graph G_0: update palettes, collect, color locally ----------
         if partition.bad_graph.num_nodes > 0:
-            bad_palettes = palettes.subset(partition.bad_graph.nodes())
-            removed = bad_palettes.remove_colors_used_by_neighbors(graph, coloring)
+            bad_palettes, removed = self._subset_updated(
+                palettes, partition.bad_graph.nodes(), graph, coloring
+            )
             update_rounds = state.context.record_palette_update(
                 max(removed, 1), label="palette-update"
             )
@@ -328,6 +334,40 @@ class ColorReduce:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _update_palettes(
+        self, palettes: PaletteAssignment, graph: Graph, coloring: Dict[NodeId, Color]
+    ) -> int:
+        """One "update color palettes" step, routed by ``graph_use_batch``.
+
+        The batched kernel prunes every palette in one CSR gather + masked
+        compaction; the scalar loop is the bit-identical reference (same
+        palettes, same ``removed`` count — the quantity the round ledger
+        records as message words).
+        """
+        if self.params.graph_use_batch:
+            return palettes.remove_colors_used_by_neighbors_batch(graph, coloring)
+        return palettes.remove_colors_used_by_neighbors(graph, coloring)
+
+    def _subset_updated(
+        self,
+        palettes: PaletteAssignment,
+        members,
+        graph: Graph,
+        coloring: Dict[NodeId, Color],
+    ) -> tuple:
+        """Restrict to ``members`` and prune colored-neighbor colors.
+
+        The bad-graph and capacity-split steps run these two palette ops
+        back to back; the batched route fuses them into one gather +
+        compaction (:meth:`PaletteAssignment.subset_updated`), the scalar
+        route keeps them as the two reference loops.  Same child palettes,
+        same ``removed`` count either way.
+        """
+        if self.params.graph_use_batch:
+            return palettes.subset_updated(members, graph, coloring)
+        subset = palettes.subset(members)
+        return subset, subset.remove_colors_used_by_neighbors(graph, coloring)
+
     def _collect_and_color(
         self,
         graph: Graph,
@@ -342,7 +382,9 @@ class ColorReduce:
             rounds = state.context.record_collect(words, label=label)
             ledger.charge(label, rounds, words)
             state.context.record_space(words, max_local_words=words)
-            return greedy_list_coloring(graph, palettes)
+            return greedy_list_coloring(
+                graph, palettes, use_batch=self.params.graph_use_batch
+            )
         # The instance does not fit on one machine.  The deterministic
         # algorithm never reaches this point (Corollary 3.10 bounds |G_0| by
         # O(n)), but the randomized baseline occasionally does on unlucky
@@ -352,8 +394,9 @@ class ColorReduce:
         # the missing guarantee.
         coloring: Dict[NodeId, Color] = {}
         for piece in self._split_for_capacity(graph, palettes, state, capacity):
-            piece_palettes = palettes.subset(piece.nodes())
-            removed = piece_palettes.remove_colors_used_by_neighbors(graph, coloring)
+            piece_palettes, removed = self._subset_updated(
+                palettes, piece.nodes(), graph, coloring
+            )
             if removed:
                 update_rounds = state.context.record_palette_update(
                     removed, label="palette-update"
@@ -363,7 +406,11 @@ class ColorReduce:
             rounds = state.context.record_collect(piece_words, label=label)
             ledger.charge(label, rounds, piece_words)
             state.context.record_space(piece_words, max_local_words=piece_words)
-            coloring.update(greedy_list_coloring(piece, piece_palettes))
+            coloring.update(
+                greedy_list_coloring(
+                    piece, piece_palettes, use_batch=self.params.graph_use_batch
+                )
+            )
         return coloring
 
     def _split_for_capacity(

@@ -433,18 +433,11 @@ class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
                     edge_sources.append(index)
                     edge_targets.append(other)
             edge_indptr[index + 1] = len(edge_sources)
-        universe = sorted(
-            {color for node in high for color in self.palettes.palette(node)}
-        )
-        color_position = {color: index for index, color in enumerate(universe)}
-        entry_nodes: List[int] = []
-        entry_colors: List[int] = []
-        entry_indptr = np.zeros(len(high) + 1, dtype=np.int64)
-        for index, node in enumerate(high):
-            for color in self.palettes.palette(node):
-                entry_nodes.append(index)
-                entry_colors.append(color_position[color])
-            entry_indptr[index + 1] = len(entry_nodes)
+        # Palette entries and universe for the high nodes come from the
+        # assignment's shared array store (one gather + unique instead of a
+        # per-color Python loop; sets-backed fallback for colors beyond
+        # int64) — see BatchCostEvaluatorBase.palette_entry_arrays.
+        entries = self.palette_entry_arrays(self.palettes, high)
         chunk_slack = self.params.degree_slack(
             self.params.machine_chunk(self.graph.num_nodes)
         )
@@ -468,13 +461,13 @@ class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
             # built — mirroring PartitionCostEvaluator's CSR-identity guard.
             "graph_signature": (self.graph.num_nodes, self.graph.num_edges),
             "high": high,
-            "universe": universe,
+            "universe": entries["universe"],
             "edge_sources": np.asarray(edge_sources, dtype=np.int64),
             "edge_targets": np.asarray(edge_targets, dtype=np.int64),
             "edge_indptr": edge_indptr,
-            "entry_nodes": np.asarray(entry_nodes, dtype=np.int64),
-            "entry_colors": np.asarray(entry_colors, dtype=np.int64),
-            "entry_indptr": entry_indptr,
+            "entry_nodes": entries["entry_nodes"],
+            "entry_colors": entries["entry_positions"],
+            "entry_indptr": entries["indptr"],
             "threshold": degrees / self.num_bins + slack,
             "node_xs_cache": {},
             "color_xs_cache": {},

@@ -40,10 +40,13 @@ class LowSpaceParameters:
     selection_use_batch: bool = True
     #: Route the graph-layer batch kernels: CSR-backed bin-instance
     #: extraction, the selected pair's batched node-level classification
-    #: (:func:`repro.core.low_space.machine_sets.node_level_outcome_batch`)
-    #: and the vectorized palette restriction (bit-identical to the scalar
-    #: reference; see
-    #: :attr:`repro.core.params.ColorReduceParameters.graph_use_batch`).
+    #: (:func:`repro.core.low_space.machine_sets.node_level_outcome_batch`),
+    #: the vectorized palette restriction, and the palette-update endgame
+    #: (:meth:`~repro.graph.palettes.PaletteAssignment.remove_colors_used_by_neighbors_batch`
+    #: / :meth:`~repro.graph.palettes.PaletteAssignment.subset_updated` for
+    #: the leftover-bin and MIS-path updates) — all bit-identical to the
+    #: scalar reference; see
+    #: :attr:`repro.core.params.ColorReduceParameters.graph_use_batch`.
     graph_use_batch: bool = True
     mis_independence: int = 4
 

@@ -80,13 +80,21 @@ class ColorReduceParameters:
         subgraph-extraction kernels (:func:`repro.graph.csr.split_by_bins` /
         :func:`repro.graph.csr.extract_induced`), the *selected* pair's
         final classification runs through
-        :func:`repro.core.classification.classify_partition_batch`, and the
+        :func:`repro.core.classification.classify_partition_batch`, the
         color-bin palette restriction through the vectorized
-        :meth:`repro.graph.palettes.PaletteAssignment.restricted_by_bins`
-        — instead of the scalar per-neighbor/per-color Python loops.
-        Bit-identical outcomes — same node insertion order, same adjacency
-        sets, same classifications, same colorings and recursion trees;
-        disable to force the scalar reference paths.
+        :meth:`repro.graph.palettes.PaletteAssignment.restricted_by_bins`,
+        and the ``ColorReduce`` endgame through the array-backed palette
+        store — palette updates via
+        :meth:`~repro.graph.palettes.PaletteAssignment.remove_colors_used_by_neighbors_batch`
+        / the fused
+        :meth:`~repro.graph.palettes.PaletteAssignment.subset_updated`,
+        and the local base-case coloring via the array sweep of
+        :func:`repro.core.local_coloring.greedy_list_coloring`
+        (``use_batch``) — instead of the scalar per-neighbor/per-color
+        Python loops.  Bit-identical outcomes — same node insertion order,
+        same adjacency sets, same classifications, same colorings,
+        ``removed`` counts and recursion trees; disable to force the
+        scalar reference paths.
     enforce_palette_surplus:
         If True (default), any node whose restricted palette does not exceed
         its in-bin degree is reclassified as bad.  With the paper exponents

@@ -186,6 +186,36 @@ def _assemble_child(
     )
 
 
+def gather_segments(
+    indptr: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row lengths and a flat gather index concatenating CSR segments.
+
+    ``indptr`` is any CSR-style boundary array and ``rows`` the segment
+    indices to concatenate (in caller order, repeats allowed).  Returns
+    ``(lengths, gather)`` where ``lengths[i]`` is the size of segment
+    ``rows[i]`` and ``gather`` indexes the flat data array so that
+    ``data[gather]`` lists the requested segments back to back.  Shared by
+    the neighbor-run gathers here and the palette-slice gathers of
+    :mod:`repro.graph.palettes` (same layout, different payload).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    num_rows = rows.shape[0]
+    if not num_rows:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    lengths = indptr[rows + 1] - indptr[rows]
+    total = int(lengths.sum())
+    if not total:
+        return lengths, np.zeros(0, dtype=np.int64)
+    starts = indptr[rows]
+    run_ends = np.cumsum(lengths)
+    gather = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - (run_ends - lengths), lengths
+    )
+    return lengths, gather
+
+
 def _gather_rows(
     csr: GraphCSR, old_positions: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -195,18 +225,10 @@ def _gather_rows(
     one of the requested rows, the *local* row index (0-based within
     ``old_positions``) and the parent position of the neighbor.
     """
-    num_rows = old_positions.shape[0]
-    lengths = csr.degrees[old_positions] if num_rows else np.zeros(0, dtype=np.int64)
-    total = int(lengths.sum())
-    if not total:
-        empty = np.zeros(0, dtype=np.int64)
-        return empty, empty
-    starts = csr.indptr[old_positions]
-    run_ends = np.cumsum(lengths)
-    gather = np.arange(total, dtype=np.int64) + np.repeat(
-        starts - (run_ends - lengths), lengths
-    )
-    rows = np.repeat(np.arange(num_rows, dtype=np.int64), lengths)
+    lengths, gather = gather_segments(csr.indptr, old_positions)
+    if not gather.shape[0]:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    rows = np.repeat(np.arange(old_positions.shape[0], dtype=np.int64), lengths)
     return rows, csr.indices[gather]
 
 

@@ -292,6 +292,15 @@ class Graph:
             self._csr = build_csr(self._adj)
         return self._csr
 
+    def has_csr(self) -> bool:
+        """Whether the array view is currently warm (built, not invalidated).
+
+        The probe behind every ``use_csr=None`` / ``use_batch=None`` auto
+        mode (here and in :func:`repro.core.local_coloring.greedy_list_coloring`):
+        consumers take the array path iff it is free to take.
+        """
+        return self._csr is not None
+
     def _resolve_use_csr(self, use_csr: Optional[bool]) -> bool:
         """``None`` means auto: take the array path iff the view is warm."""
         if use_csr is None:

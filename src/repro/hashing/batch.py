@@ -213,6 +213,77 @@ def rowwise_bincount(values: np.ndarray, num_values: int) -> np.ndarray:
     return counts.reshape(num_rows, num_values).astype(np.int64)
 
 
+def segment_mark_members(
+    flat: np.ndarray,
+    indptr: np.ndarray,
+    query_values: np.ndarray,
+    query_segments: np.ndarray,
+    segment_of_entry: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Mark entries of a segment-sorted array hit by ``(segment, value)`` queries.
+
+    ``flat`` holds one sorted run per segment (CSR-style ``indptr``,
+    duplicates within a run not allowed); each query asks "does segment
+    ``query_segments[j]`` contain ``query_values[j]``?".  Returns a boolean
+    mask over ``flat`` with ``True`` exactly at the matched entries —
+    duplicate queries mark the same entry once, and values absent from
+    their segment mark nothing.
+
+    The kernel encodes ``(segment, value)`` pairs as combined integer keys
+    (segment-major, so the encoded ``flat`` stays globally sorted) and
+    resolves every query with one :func:`numpy.searchsorted`.  This is the
+    membership primitive behind the batched palette pruning
+    (:meth:`repro.graph.palettes.PaletteAssignment.remove_colors_used_by_neighbors_batch`,
+    its path for universes too large for a position table).  Scalar
+    reference: one ``value in segment_set`` probe per query.
+    ``segment_of_entry`` may
+    pass the precomputed ``repeat(arange(num_segments), lengths)``
+    expansion (callers holding a palette store get it cached).  If the
+    combined key cannot fit int64 (astronomical color values), the
+    per-query ``bisect`` path keeps the result exact.
+    """
+    total = int(flat.shape[0])
+    mask = np.zeros(total, dtype=bool)
+    if total == 0 or query_values.shape[0] == 0:
+        return mask
+    # Values outside the flat array's range cannot match; dropping them first
+    # keeps the key span tight (and independent of outlandish query values).
+    low = int(flat.min())
+    high = int(flat.max())
+    in_range = (query_values >= low) & (query_values <= high)
+    if not bool(in_range.any()):
+        return mask
+    values = query_values[in_range]
+    segments = query_segments[in_range]
+    span = high - low + 1
+    num_segments = int(indptr.shape[0]) - 1
+    if num_segments * span < (1 << 62):
+        if segment_of_entry is None:
+            segment_of_entry = np.repeat(
+                np.arange(num_segments, dtype=np.int64), indptr[1:] - indptr[:-1]
+            )
+        keys = segment_of_entry * span + (flat - low)
+        query_keys = segments * span + (values - low)
+        found = np.searchsorted(keys, query_keys)
+        inside = found < total
+        found = found[inside]
+        hit = keys[found] == query_keys[inside]
+        mask[found[hit]] = True
+        return mask
+    # Key-overflow fallback: exact per-query bisection (reachable only with
+    # color spans near 2**62).
+    import bisect
+
+    flat_list = flat.tolist()
+    bounds = indptr.tolist()
+    for segment, value in zip(segments.tolist(), values.tolist()):
+        start, end = bounds[segment], bounds[segment + 1]
+        index = bisect.bisect_left(flat_list, value, start, end)
+        if index < end and flat_list[index] == value:
+            mask[index] = True
+    return mask
+
+
 def segment_sum_rows(matrix: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     """Sum contiguous column segments of a ``(num_rows, m)`` matrix, per row.
 
@@ -337,6 +408,93 @@ class BatchCostEvaluatorBase:
         for start in range(0, len(pairs), slab):
             costs.extend(self._many_slab(pairs[start : start + slab], prep))
         return costs
+
+    @staticmethod
+    def palette_entry_arrays(palettes, node_ids) -> dict:
+        """Flattened palette-entry arrays for ``node_ids``, store-backed.
+
+        The static palette arrays both cost evaluators prepare — sorted
+        color universe, per-node sizes, entry owners and universe
+        positions — used to be rebuilt from the Python palette sets once
+        per ``Partition`` call.  This helper answers from the assignment's
+        array store (:meth:`repro.graph.palettes.PaletteAssignment.store`)
+        instead: children produced by the batched restriction kernels
+        already carry their flat arrays, so preparing a child evaluator is
+        a couple of NumPy gathers rather than a per-color Python loop.
+
+        Returns a dict with ``universe`` (sorted unique colors of the
+        listed nodes, as a plain list — the hash-input shape the slab
+        pipeline consumes), ``universe_array`` (the same colors as an
+        int64 array, or ``None`` when they exceed int64), ``sizes`` /
+        ``indptr`` (palette sizes aligned with ``node_ids``),
+        ``entry_nodes`` (owner index per entry), ``entry_positions``
+        (position of each entry's color in ``universe``) and
+        ``sorted_entries`` (True iff every node's run is ascending — the
+        store guarantees it; the set-backed fallback does not).  Raises
+        the palette layer's error for nodes without a palette.
+        """
+        node_list = list(node_ids)
+        count = len(node_list)
+        store = palettes.store()
+        if store is not None:
+            if store.nodes == node_list:
+                flat = store.flat
+                sizes = store.sizes()
+                indptr = store.offsets
+                universe_array, positions = store.universe_positions()
+            else:
+                rows = store.rows_of(node_list)
+                from repro.graph.csr import gather_segments
+
+                sizes, gather = gather_segments(store.offsets, rows)
+                flat = store.flat[gather]
+                indptr = np.zeros(count + 1, dtype=np.int64)
+                np.cumsum(sizes, out=indptr[1:])
+                universe_array = np.unique(flat)
+                positions = np.searchsorted(universe_array, flat)
+            return {
+                "universe": universe_array.tolist(),
+                "universe_array": universe_array,
+                "flat_colors": flat,
+                "sizes": sizes,
+                "indptr": indptr,
+                "entry_nodes": np.repeat(np.arange(count, dtype=np.int64), sizes),
+                "entry_positions": positions,
+                "sorted_entries": True,
+            }
+        # Store unavailable (colors beyond int64 or not integers): exact
+        # scalar flatten, keeping universe positions as dict lookups.
+        import itertools
+
+        sizes = np.fromiter(
+            (palettes.palette_size(node) for node in node_list),
+            dtype=np.int64,
+            count=count,
+        )
+        total = int(sizes.sum())
+        flat_list = list(
+            itertools.chain.from_iterable(
+                palettes.iter_palette(node) for node in node_list
+            )
+        )
+        universe_list = sorted(set(flat_list))
+        position_of = {color: index for index, color in enumerate(universe_list)}
+        indptr = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        return {
+            "universe": universe_list,
+            "universe_array": None,
+            "flat_colors": flat_list,
+            "sizes": sizes,
+            "indptr": indptr,
+            "entry_nodes": np.repeat(np.arange(count, dtype=np.int64), sizes),
+            "entry_positions": np.fromiter(
+                (position_of[color] for color in flat_list),
+                dtype=np.int64,
+                count=total,
+            ),
+            "sorted_entries": False,
+        }
 
     @staticmethod
     def _cached_xs(

@@ -376,3 +376,134 @@ class TestBatchedFinalClassificationDifferential:
             scalar, PaletteAssignment.degree_plus_one(scalar)
         )
         assert lazy_coloring == scalar_coloring
+
+
+@st.composite
+def relabeled_instances(draw):
+    """A graph + palettes, optionally relabeled to non-contiguous node ids."""
+    graph, palettes = draw(graphs_with_palettes())
+    stride = draw(st.sampled_from([1, 3, 17]))
+    offset = draw(st.integers(min_value=0, max_value=100))
+    if stride == 1 and offset == 0:
+        return graph, palettes
+    mapping = {node: offset + stride * node for node in graph.nodes()}
+    relabeled = Graph(
+        nodes=[mapping[node] for node in graph.nodes()],
+        edges=[(mapping[u], mapping[v]) for u, v in graph.edges()],
+    )
+    relabeled_palettes = PaletteAssignment.from_lists(
+        {mapping[node]: palettes.palette(node) for node in graph.nodes()}
+    )
+    return relabeled, relabeled_palettes
+
+
+class TestPaletteKernelEquivalence:
+    """Batch palette pruning is a bit-identical scalar substitution."""
+
+    @staticmethod
+    def _assert_equivalent(graph, palettes, coloring, nodes=None):
+        scalar = palettes.copy()
+        scalar._palettes  # force the sets backing for the reference
+        scalar._store = None
+        batch = palettes.copy()
+        removed_scalar = scalar.remove_colors_used_by_neighbors(
+            graph, coloring, nodes=nodes
+        )
+        removed_batch = batch.remove_colors_used_by_neighbors_batch(
+            graph, coloring, nodes=nodes
+        )
+        assert removed_scalar == removed_batch
+        assert scalar.nodes() == batch.nodes()
+        for node in scalar.nodes():
+            assert scalar.palette(node) == batch.palette(node)
+
+    @SETTINGS
+    @given(relabeled_instances(), st.dictionaries(st.integers(0, 2000), st.integers(0, 60)))
+    def test_remove_batch_matches_scalar(self, data, coloring):
+        # coloring keys beyond the node range act as external-only entries
+        graph, palettes = data
+        self._assert_equivalent(graph, palettes, coloring)
+
+    @SETTINGS
+    @given(relabeled_instances())
+    def test_remove_batch_empty_coloring(self, data):
+        graph, palettes = data
+        self._assert_equivalent(graph, palettes, {})
+
+    @SETTINGS
+    @given(graphs_with_palettes(), st.dictionaries(st.integers(0, 39), st.integers(0, 60)))
+    def test_remove_batch_targets_outside_graph(self, data, coloring):
+        # palette nodes the graph does not contain are skipped identically
+        graph, palettes = data
+        extra = PaletteAssignment.from_lists(
+            {node: palettes.palette(node) for node in palettes.nodes()}
+            | {10_000: {1, 2}, 10_001: {3}}
+        )
+        targets = extra.nodes()
+        self._assert_equivalent(graph, extra, coloring, nodes=targets)
+
+    @SETTINGS
+    @given(graphs_with_palettes(), st.dictionaries(st.integers(0, 39), st.integers(0, 60)))
+    def test_subset_updated_matches_two_step(self, data, coloring):
+        graph, palettes = data
+        members = [node for node in graph.nodes() if node % 2 == 0]
+        reference = palettes.copy()
+        reference._palettes
+        reference._store = None
+        expected = reference.subset(members)
+        removed_expected = expected.remove_colors_used_by_neighbors(graph, coloring)
+        palettes.store()
+        child, removed = palettes.subset_updated(members, graph, coloring)
+        assert removed == removed_expected
+        assert child.nodes() == expected.nodes()
+        for node in members:
+            assert child.palette(node) == expected.palette(node)
+
+
+class TestGreedyBatchEquivalence:
+    """The array greedy sweep is a bit-identical scalar substitution."""
+
+    @SETTINGS
+    @given(relabeled_instances())
+    def test_default_order_matches(self, data):
+        graph, palettes = data
+        scalar = greedy_list_coloring(graph, palettes, use_batch=False)
+        batched = greedy_list_coloring(graph, palettes, use_batch=True)
+        assert scalar == batched
+
+    @SETTINGS
+    @given(graphs_with_palettes(), st.dictionaries(st.integers(0, 39), st.integers(0, 60)))
+    def test_already_colored_recolor_path_matches(self, data, external):
+        # graph nodes present in ``external`` are recolored from scratch;
+        # their hints still block neighbors processed before them
+        graph, palettes = data
+        scalar = greedy_list_coloring(
+            graph, palettes, already_colored=external, use_batch=False
+        )
+        batched = greedy_list_coloring(
+            graph, palettes, already_colored=external, use_batch=True
+        )
+        assert scalar == batched
+
+    @SETTINGS
+    @given(graphs(max_nodes=15), st.integers(min_value=1, max_value=3))
+    def test_coloring_error_parity(self, graph, palette_size):
+        # palettes deliberately too small: both paths must raise the same
+        # error for the same node (or both succeed with equal colorings)
+        from repro.errors import ColoringError
+
+        palettes = PaletteAssignment.from_lists(
+            {node: range(palette_size) for node in graph.nodes()}
+        )
+        scalar_error = batch_error = None
+        scalar = batched = None
+        try:
+            scalar = greedy_list_coloring(graph, palettes, use_batch=False)
+        except ColoringError as exc:
+            scalar_error = str(exc)
+        try:
+            batched = greedy_list_coloring(graph, palettes, use_batch=True)
+        except ColoringError as exc:
+            batch_error = str(exc)
+        assert scalar_error == batch_error
+        assert scalar == batched
