@@ -37,10 +37,10 @@ import time
 
 from bench_json import emit_bench_json
 
-from repro.core.local_coloring import greedy_list_coloring
+from repro.core.local_coloring import GREEDY_ARRAY_CUTOVER_NODES, greedy_list_coloring
 from repro.core.params import ColorReduceParameters
 from repro.core.partition import Partition
-from repro.graph.generators import power_law
+from repro.graph.generators import erdos_renyi, power_law
 from repro.graph.palettes import PaletteAssignment
 
 _SCALES = {
@@ -100,6 +100,38 @@ def _best_of(fn, rounds: int) -> float:
         fn()
         best = min(best, time.perf_counter() - started)
     return best
+
+
+def _small_instance_cutover():
+    """Validate the greedy small-instance cutover threshold.
+
+    Builds a CSR-warm, store-warm instance *below*
+    :data:`GREEDY_ARRAY_CUTOVER_NODES` (the shape of a deep-recursion
+    leaf), times both greedy paths, and checks that (a) auto mode takes
+    the scalar loop there, (b) all three modes agree bit-for-bit, and
+    (c) the scalar loop is not meaningfully slower than the array sweep —
+    i.e. skipping the sweep's fixed setup on leaves is justified.
+    Returns ``(scalar_s, array_s, identical)``.
+    """
+    num_nodes = max(4, GREEDY_ARRAY_CUTOVER_NODES - 4)
+    graph = erdos_renyi(num_nodes, 0.3, seed=9)
+    palettes = PaletteAssignment.delta_plus_one(graph)
+    palettes.store()
+    leaf = graph.induced_subgraph(graph.nodes(), use_csr=True)
+    leaf.csr()
+
+    def scalar():
+        return greedy_list_coloring(leaf, palettes, use_batch=False)
+
+    def array():
+        return greedy_list_coloring(leaf, palettes, use_batch=True)
+
+    scalar(), array()  # warm interpreter/ufunc one-offs
+    scalar_seconds = _best_of(scalar, 40)
+    array_seconds = _best_of(array, 40)
+    auto = greedy_list_coloring(leaf, palettes)  # cutover: scalar path
+    identical = auto == scalar() == array()
+    return scalar_seconds, array_seconds, identical
 
 
 def test_p4_palette_endgame(benchmark, experiment_scale):
@@ -165,6 +197,12 @@ def test_p4_palette_endgame(benchmark, experiment_scale):
     benchmark.extra_info["combined_speedup"] = round(combined, 2)
     benchmark.extra_info["identical_outputs"] = identical
 
+    # --- small-instance cutover (deep-recursion leaves) --------------------
+    small_scalar_s, small_array_s, small_identical = _small_instance_cutover()
+    cutover_ratio = small_scalar_s / small_array_s
+    benchmark.extra_info["cutover_nodes"] = GREEDY_ARRAY_CUTOVER_NODES
+    benchmark.extra_info["cutover_scalar_vs_array"] = round(cutover_ratio, 2)
+
     emit_bench_json(
         "p4",
         [
@@ -189,6 +227,17 @@ def test_p4_palette_endgame(benchmark, experiment_scale):
                 "batch_s": round(batched_seconds, 5),
                 "speedup": round(combined, 2),
             },
+            # Sub-threshold leaf: "speedup" < 1 documents that the array
+            # sweep does NOT pay below the cutover — why auto mode goes
+            # scalar there.  Micro-timings; excluded from the CI gate.
+            {
+                "op": "greedy-small-cutover",
+                "n": max(4, GREEDY_ARRAY_CUTOVER_NODES - 4),
+                "scalar_s": round(small_scalar_s, 7),
+                "batch_s": round(small_array_s, 7),
+                "speedup": round(small_array_s / small_scalar_s, 2),
+                "gate": False,
+            },
         ],
     )
 
@@ -208,8 +257,24 @@ def test_p4_palette_endgame(benchmark, experiment_scale):
     )
     print(f"  combined speedup: {combined:6.1f}x")
     print(f"  identical outputs: {identical}")
+    print(
+        f"  small-instance cutover (<{GREEDY_ARRAY_CUTOVER_NODES} nodes): "
+        f"scalar {small_scalar_s * 1e6:6.1f}us vs array {small_array_s * 1e6:6.1f}us "
+        f"(identical {small_identical})"
+    )
 
     assert identical, "batched endgame must match the scalar reference exactly"
+    assert small_identical, "greedy cutover paths must agree bit-for-bit"
+    # The cutover is justified iff the array sweep buys nothing below the
+    # threshold.  2x slack: these are ~20us best-of-40 measurements, and the
+    # assertion should only trip when the array sweep is *clearly* faster on
+    # sub-threshold leaves (meaning the threshold itself is wrong), not on
+    # shared-runner jitter.
+    assert small_scalar_s <= small_array_s * 2.0, (
+        f"scalar greedy {small_scalar_s * 1e6:.1f}us much slower than array "
+        f"{small_array_s * 1e6:.1f}us below the cutover — threshold "
+        f"{GREEDY_ARRAY_CUTOVER_NODES} is set too high"
+    )
     required = _REQUIRED_SPEEDUP[experiment_scale]
     assert combined >= required, (
         f"palette endgame only {combined:.1f}x faster than scalar "

@@ -1,0 +1,248 @@
+"""P5 — multiprocess candidate-slab scoring: scaling over worker counts.
+
+The parallel execution layer (:mod:`repro.parallel`) shards every candidate
+slab of the derandomized seed search across worker processes: the
+deterministic planner splits the slab into per-worker sub-slabs, each worker
+scores its shard through the same batched evaluator (shipped once per
+level), and the parent reassembles the cost vectors in candidate order —
+so outcomes are bit-identical for every worker count.
+
+This benchmark drives the heaviest selection shape — the
+conditional-expectation chunk sweep on an ``n >= 2000`` instance, where each
+chunk scores a (candidates x completions) slab of over a hundred pairs —
+with ``workers = 1 / 2 / 4``, plus a sharded FIRST_FEASIBLE fixed-budget
+scan, asserting
+
+* identical selection outcomes (seeds, cost, evaluations, rounds) across
+  all worker counts, always, and
+* a wall-clock speedup at 4 workers when the host actually has the cores
+  (>= 1.5x with 4+ CPUs at the realistic scales; relaxed on 2-3 CPUs and
+  waived on a single CPU, where a multiprocess speedup is physically
+  impossible — the JSON records carry the CPU count so the CI gate only
+  compares like with like).
+
+Results are written to ``BENCH_p5.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from bench_json import emit_bench_json
+
+from repro.core.classification import partition_cost_function
+from repro.core.params import ColorReduceParameters
+from repro.core.partition import Partition
+from repro.derand.conditional_expectation import HashPairSelector, SelectionStrategy
+from repro.errors import DerandomizationError
+from repro.graph.generators import erdos_renyi
+from repro.graph.palettes import PaletteAssignment
+from repro.parallel import get_executor, shutdown_executors
+
+_SCALES = {
+    # (num nodes, average degree, timing rounds, scan candidate budget)
+    "smoke": (600, 20, 3, 192),
+    "default": (2000, 30, 2, 256),
+    "full": (3000, 40, 2, 256),
+}
+
+_WORKER_COUNTS = (1, 2, 4)
+
+
+def _required_speedup(scale: str, cpus: int) -> float:
+    """The 4-worker speedup this host must show, or 0.0 when waived.
+
+    ``BENCH_P5_REQUIRED_SPEEDUP`` overrides the 4+-CPU floor — an
+    operational escape hatch for CI hosts whose effective parallelism
+    belies their advertised core count (shared vCPUs), tunable without a
+    code change.  Identity assertions are never waived.
+    """
+    if scale == "smoke" or cpus < 2:
+        # Smoke instances are too small to amortise IPC; a single CPU
+        # cannot speed anything up by adding processes.
+        return 0.0
+    if cpus < 4:
+        return 1.1
+    return float(os.environ.get("BENCH_P5_REQUIRED_SPEEDUP", "1.5"))
+
+
+def _setup(scale: str):
+    num_nodes, avg_degree, rounds, budget = _SCALES[scale]
+    graph = erdos_renyi(num_nodes, avg_degree / num_nodes, seed=42)
+    palettes = PaletteAssignment.delta_plus_one(graph)
+    params = ColorReduceParameters.scaled(num_bins=4)
+    ell = max(float(graph.max_degree()), 2.0)
+    family1, family2 = Partition(params).build_families(
+        graph, palettes, ell, graph.num_nodes
+    )
+    return graph, palettes, params, ell, family1, family2, rounds, budget
+
+
+def _ce_sweep(setup, workers):
+    """One full conditional-expectation search; returns (seconds, outcome)."""
+    graph, palettes, params, ell, family1, family2, _, _ = setup
+    # Fresh evaluator per run so each measurement pays the full real cost
+    # of its path, including shipping the evaluator to the pool once.
+    cost = partition_cost_function(graph, palettes, params, ell, graph.num_nodes)
+    selector = HashPairSelector(
+        family1,
+        family2,
+        strategy=SelectionStrategy.CONDITIONAL_EXPECTATION,
+        chunk_bits=6,
+        completion_samples=2,
+        exact_completion_bits=4,
+        candidate_salt=7,
+        parallel_workers=workers,
+    )
+    started = time.perf_counter()
+    outcome = selector.select(cost, target_bound=None)
+    return time.perf_counter() - started, outcome
+
+
+def _feasibility_scan(setup, workers):
+    """FIRST_FEASIBLE over a fixed budget (infeasible bound, wide batches)."""
+    graph, palettes, params, ell, family1, family2, _, budget = setup
+    cost = partition_cost_function(graph, palettes, params, ell, graph.num_nodes)
+    selector = HashPairSelector(
+        family1,
+        family2,
+        strategy=SelectionStrategy.FIRST_FEASIBLE,
+        batch_size=64,
+        max_candidates=budget,
+        candidate_salt=7,
+        parallel_workers=workers,
+    )
+    started = time.perf_counter()
+    try:
+        selector.select(cost, target_bound=-1.0)
+    except DerandomizationError:
+        pass
+    return time.perf_counter() - started
+
+
+def _best_ce(setup, workers, rounds):
+    best_seconds, outcome = float("inf"), None
+    for _ in range(rounds):
+        seconds, result = _ce_sweep(setup, workers)
+        if seconds < best_seconds:
+            best_seconds, outcome = seconds, result
+    return best_seconds, outcome
+
+
+def _best_scan(setup, workers, rounds):
+    return min(_feasibility_scan(setup, workers) for _ in range(rounds))
+
+
+def test_p5_parallel_selection(benchmark, experiment_scale):
+    setup = _setup(experiment_scale)
+    graph = setup[0]
+    rounds = setup[6]
+    cpus = os.cpu_count() or 1
+
+    # Spawn the pools and warm both paths once before timing (process
+    # startup and ufunc init are one-offs, not part of either algorithm;
+    # evaluator shipping is NOT warmed — each timed run pays it).
+    for workers in _WORKER_COUNTS[1:]:
+        get_executor(workers)
+    _ce_sweep(setup, 1)
+    _ce_sweep(setup, _WORKER_COUNTS[-1])
+
+    ce_seconds = {}
+    ce_outcomes = {}
+    for workers in _WORKER_COUNTS:
+        ce_seconds[workers], ce_outcomes[workers] = _best_ce(setup, workers, rounds)
+
+    scan_seconds = {
+        workers: _best_scan(setup, workers, rounds)
+        for workers in (1, _WORKER_COUNTS[-1])
+    }
+
+    base = ce_outcomes[1]
+    identical = all(
+        outcome.h1.seed == base.h1.seed
+        and outcome.h2.seed == base.h2.seed
+        and outcome.cost == base.cost
+        and outcome.evaluations == base.evaluations
+        and outcome.rounds_charged == base.rounds_charged
+        for outcome in ce_outcomes.values()
+    )
+
+    speedup_2w = ce_seconds[1] / ce_seconds[2]
+    speedup_4w = ce_seconds[1] / ce_seconds[4]
+    scan_speedup = scan_seconds[1] / scan_seconds[_WORKER_COUNTS[-1]]
+
+    benchmark.extra_info["num_nodes"] = graph.num_nodes
+    benchmark.extra_info["num_edges"] = graph.num_edges
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.extra_info["ce_speedup_2w"] = round(speedup_2w, 2)
+    benchmark.extra_info["ce_speedup_4w"] = round(speedup_4w, 2)
+    benchmark.extra_info["scan_speedup_4w"] = round(scan_speedup, 2)
+    benchmark.extra_info["identical_selection"] = identical
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    emit_bench_json(
+        "p5",
+        [
+            {
+                "op": "ce-sweep-2workers",
+                "n": graph.num_nodes,
+                "scalar_s": round(ce_seconds[1], 5),
+                "batch_s": round(ce_seconds[2], 5),
+                "speedup": round(speedup_2w, 2),
+                "cpus": cpus,
+            },
+            {
+                "op": "ce-sweep-4workers",
+                "n": graph.num_nodes,
+                "scalar_s": round(ce_seconds[1], 5),
+                "batch_s": round(ce_seconds[4], 5),
+                "speedup": round(speedup_4w, 2),
+                "cpus": cpus,
+            },
+            {
+                "op": "first-feasible-4workers",
+                "n": graph.num_nodes,
+                "scalar_s": round(scan_seconds[1], 5),
+                "batch_s": round(scan_seconds[_WORKER_COUNTS[-1]], 5),
+                "speedup": round(scan_speedup, 2),
+                "cpus": cpus,
+                "gate": False,
+            },
+        ],
+    )
+
+    print()
+    print("P5: multiprocess candidate-slab scoring (workers vs in-process)")
+    print(
+        f"  instance: n={graph.num_nodes} m={graph.num_edges} cpus={cpus} "
+        f"(1-worker baseline is the in-process path)"
+    )
+    for workers in _WORKER_COUNTS:
+        speedup = ce_seconds[1] / ce_seconds[workers]
+        print(
+            f"  CE sweep, {workers} worker(s):   {ce_seconds[workers]:8.3f}s   "
+            f"speedup {speedup:5.2f}x"
+        )
+    print(
+        f"  FIRST_FEASIBLE scan, {_WORKER_COUNTS[-1]} workers: "
+        f"{scan_seconds[_WORKER_COUNTS[-1]]:8.3f}s vs {scan_seconds[1]:8.3f}s "
+        f"({scan_speedup:5.2f}x)"
+    )
+    print(f"  identical selection outcomes: {identical}")
+
+    shutdown_executors()
+
+    assert identical, (
+        "parallel selection must match the in-process path bit-for-bit"
+    )
+    required = _required_speedup(experiment_scale, cpus)
+    if required > 0.0:
+        assert speedup_4w >= required, (
+            f"conditional-expectation sweep only {speedup_4w:.2f}x faster with "
+            f"4 workers on {cpus} CPUs (required {required}x)"
+        )
+    else:
+        print(
+            f"  (speedup assertion waived: scale={experiment_scale!r}, cpus={cpus})"
+        )

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over the ``BENCH_p*.json`` records.
+
+The ``bench_p*`` benchmarks emit machine-readable perf records (one dict
+per measured op, with a ``speedup`` field — batched/parallel path vs the
+scalar reference, measured on the same host in the same run, so the ratio
+is largely hardware-independent).  This script compares freshly produced
+records against committed baselines and **fails** when a speedup regressed
+past the tolerance, turning the perf trajectory from an archived artifact
+into a gate.
+
+Usage::
+
+    python benchmarks/check_regression.py                  # gate (CI)
+    python benchmarks/check_regression.py --tolerance 0.6  # stricter
+    python benchmarks/check_regression.py --update         # refresh baselines
+
+Matching and skip rules
+-----------------------
+Records are matched by ``op`` within each ``BENCH_p<k>.json``.  A pair is
+*skipped* (reported, never failed) when:
+
+* either record carries ``"gate": false`` — micro-timings and
+  documentation-only records opt out at the source;
+* both records carry a ``"cpus"`` field and they differ — multiprocess
+  speedups (P5) are only comparable between hosts with the same core
+  count;
+* the instance sizes (``n``) differ — the baseline was recorded at a
+  different ``--experiment-scale``.
+
+A fresh record passes when ``speedup >= tolerance * baseline_speedup``.
+The default tolerance (0.5) absorbs shared-runner noise while still
+catching a kernel that silently lost half its advantage.
+
+Known limitation: the committed P5 baselines were recorded on a 1-CPU
+host, so on multi-core CI the cpus rule skips them — P5 perf is enforced
+there by ``bench_p5``'s own cpu-gated speedup assertion instead.  Refresh
+``benchmarks/baselines/*/BENCH_p5.json`` from a CI artifact (produced on
+the runner core count) to bring P5 under this gate too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: Baselines are committed per benchmark scale (``baselines/smoke`` for the
+#: push/PR smoke job, ``baselines/default`` for the nightly default run);
+#: the gate defaults to the smoke set.
+DEFAULT_BASELINE_DIR = Path(__file__).resolve().parent / "baselines" / "smoke"
+
+
+def load_records(path: Path):
+    """``op -> record`` for one BENCH json file."""
+    records = json.loads(path.read_text())
+    return {record["op"]: record for record in records}
+
+
+def compare_file(name: str, baseline: Path, current: Path, tolerance: float):
+    """Compare one benchmark file; returns (lines, regressions, compared)."""
+    lines = []
+    regressions = 0
+    compared = 0
+    baseline_records = load_records(baseline)
+    current_records = load_records(current)
+    for op, base in sorted(baseline_records.items()):
+        fresh = current_records.get(op)
+        prefix = f"  {name}:{op}"
+        if fresh is None:
+            lines.append(f"{prefix}: MISSING from current run")
+            regressions += 1
+            continue
+        if base.get("gate") is False or fresh.get("gate") is False:
+            lines.append(f"{prefix}: skipped (gate=false)")
+            continue
+        if "cpus" in base and "cpus" in fresh and base["cpus"] != fresh["cpus"]:
+            lines.append(
+                f"{prefix}: skipped (cpus {base['cpus']} -> {fresh['cpus']})"
+            )
+            continue
+        if base.get("n") != fresh.get("n"):
+            lines.append(
+                f"{prefix}: skipped (scale mismatch: n {base.get('n')} -> "
+                f"{fresh.get('n')})"
+            )
+            continue
+        compared += 1
+        required = tolerance * base["speedup"]
+        status = "ok" if fresh["speedup"] >= required else "REGRESSION"
+        lines.append(
+            f"{prefix}: {status} (baseline {base['speedup']:.2f}x, "
+            f"current {fresh['speedup']:.2f}x, floor {required:.2f}x)"
+        )
+        if status == "REGRESSION":
+            regressions += 1
+    return lines, regressions, compared
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=DEFAULT_BASELINE_DIR,
+        help="directory holding the committed baseline BENCH_p*.json files",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the freshly produced BENCH_p*.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help=(
+            "fresh speedup must be at least this fraction of the baseline "
+            "speedup (default 0.5)"
+        ),
+    )
+    parser.add_argument(
+        "--min-compared",
+        type=int,
+        default=1,
+        help=(
+            "fail unless at least this many records were actually compared "
+            "(guards against a vacuous green gate when every record was "
+            "skipped, e.g. a scale mismatch across the board)"
+        ),
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the current BENCH_p*.json files into the baseline dir",
+    )
+    args = parser.parse_args(argv)
+
+    if not 0.0 < args.tolerance <= 1.0:
+        parser.error("--tolerance must be in (0, 1]")
+
+    if args.update:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        copied = 0
+        for current in sorted(args.current_dir.glob("BENCH_p*.json")):
+            shutil.copy(current, args.baseline_dir / current.name)
+            copied += 1
+        print(f"updated {copied} baseline file(s) in {args.baseline_dir}")
+        return 0
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_p*.json"))
+    if not baselines:
+        print(f"no baselines found in {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    total_regressions = 0
+    total_compared = 0
+    print(
+        f"perf-regression gate: tolerance {args.tolerance}, "
+        f"baselines {args.baseline_dir}"
+    )
+    for baseline in baselines:
+        current = args.current_dir / baseline.name
+        if not current.exists():
+            print(f"  {baseline.name}: MISSING current file at {current}")
+            total_regressions += 1
+            continue
+        lines, regressions, compared = compare_file(
+            baseline.name, baseline, current, args.tolerance
+        )
+        print("\n".join(lines))
+        total_regressions += regressions
+        total_compared += compared
+
+    if total_regressions:
+        print(
+            f"\nFAILED: {total_regressions} regression(s) across "
+            f"{total_compared} compared record(s)"
+        )
+        return 1
+    if total_compared < args.min_compared:
+        print(
+            f"\nFAILED: only {total_compared} record(s) compared "
+            f"(min {args.min_compared}) — every record was skipped; check "
+            "that the benchmarks ran at the baseline's scale"
+        )
+        return 2
+    print(f"\nOK: {total_compared} record(s) within tolerance, none regressed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

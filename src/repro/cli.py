@@ -43,6 +43,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default="congested-clique",
         help="ColorReduce (Theorem 1.1) or LowSpaceColorReduce (Theorem 1.4)",
     )
+    color.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=1,
+        help=(
+            "shard candidate-slab scoring of the derandomized seed search "
+            "across this many worker processes (1 = in-process; outcomes "
+            "are bit-identical for every value)"
+        ),
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E9)")
     experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
@@ -59,8 +69,15 @@ def _run_color(args: argparse.Namespace) -> int:
         f"workload {spec.name!r} ({spec.problem}): n={graph.num_nodes}, "
         f"m={graph.num_edges}, Delta={graph.max_degree()}"
     )
+    # Invalid worker counts surface as the parameter sets' ConfigurationError
+    # (matching every other knob) rather than being silently clamped.
+    workers = args.parallel_workers
     if args.algorithm == "low-space":
-        result = LowSpaceColorReduce().run(graph, palettes)
+        from repro.core.low_space.params import LowSpaceParameters
+
+        result = LowSpaceColorReduce(
+            LowSpaceParameters(parallel_workers=workers)
+        ).run(graph, palettes)
         assert_valid_list_coloring(graph, palettes, result.coloring)
         print(
             f"LowSpaceColorReduce: rounds={result.rounds}, "
@@ -68,7 +85,11 @@ def _run_color(args: argparse.Namespace) -> int:
             f"colors used={count_colors_used(result.coloring)}"
         )
     else:
-        result = ColorReduce().run(graph, palettes)
+        from repro.core.params import ColorReduceParameters
+
+        result = ColorReduce(
+            ColorReduceParameters(parallel_workers=workers)
+        ).run(graph, palettes)
         assert_valid_list_coloring(graph, palettes, result.coloring)
         metrics = collect_metrics(graph, result)
         print(

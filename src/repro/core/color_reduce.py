@@ -382,8 +382,13 @@ class ColorReduce:
             rounds = state.context.record_collect(words, label=label)
             ledger.charge(label, rounds, words)
             state.context.record_space(words, max_local_words=words)
+            # Batch layer on: force the array sweep above the small-instance
+            # cutover (building the CSR view when a depth-0 collectable
+            # instance arrives cold), and take the scalar loop below it so
+            # deep-recursion leaves skip the sweep's fixed setup
+            # (bit-identical either way).
             return greedy_list_coloring(
-                graph, palettes, use_batch=self.params.graph_use_batch
+                graph, palettes, use_batch=self._greedy_use_batch(graph)
             )
         # The instance does not fit on one machine.  The deterministic
         # algorithm never reaches this point (Corollary 3.10 bounds |G_0| by
@@ -408,10 +413,19 @@ class ColorReduce:
             state.context.record_space(piece_words, max_local_words=piece_words)
             coloring.update(
                 greedy_list_coloring(
-                    piece, piece_palettes, use_batch=self.params.graph_use_batch
+                    piece, piece_palettes, use_batch=self._greedy_use_batch(piece)
                 )
             )
         return coloring
+
+    def _greedy_use_batch(self, graph: Graph) -> bool:
+        """Which greedy path a collected instance takes (see call sites)."""
+        from repro.core.local_coloring import GREEDY_ARRAY_CUTOVER_NODES
+
+        return (
+            self.params.graph_use_batch
+            and graph.num_nodes >= GREEDY_ARRAY_CUTOVER_NODES
+        )
 
     def _split_for_capacity(
         self,

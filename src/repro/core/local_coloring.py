@@ -45,6 +45,18 @@ from repro.types import Color, ColoringMap, NodeId
 #: the caller expects.
 _FALLBACK = object()
 
+#: Below this many nodes the auto mode (``use_batch=None``) takes the scalar
+#: loop even when the CSR view is warm: the array sweep's fixed setup
+#: (degree argsort, store-slice ``tolist`` materialisation) dominates its
+#: per-node savings only on very small instances — measured crossover is
+#: ~16 nodes with a warm palette store (the shape deep-recursion leaves
+#: actually have, since batched children adopt parent array slices); the
+#: ROADMAP's ~200 estimate assumed a cold store.  Validated empirically by
+#: ``benchmarks/bench_p4_palette_endgame.py`` (small-instance record);
+#: ``use_batch=True`` still forces the array sweep at any size, and both
+#: paths are bit-identical, so the threshold is a pure perf knob.
+GREEDY_ARRAY_CUTOVER_NODES = 16
+
 
 def greedy_list_coloring(
     graph: Graph,
@@ -70,11 +82,16 @@ def greedy_list_coloring(
         nodes of ``graph`` present here are recolored from scratch.
     use_batch:
         Selects the implementation: ``None`` (default) takes the array
-        sweep iff the graph's CSR view is already warm, ``True`` forces it
-        (building the view and the palette store if needed), ``False``
-        forces the scalar reference loop.  Results are bit-identical either
-        way; ``ColorReduce`` routes this through its ``graph_use_batch``
-        flag.
+        sweep iff the graph's CSR view is already warm *and* the instance
+        has at least :data:`GREEDY_ARRAY_CUTOVER_NODES` nodes (smaller
+        instances — deep-recursion leaves — skip the sweep's fixed
+        argsort/tolist setup), ``True`` forces the array sweep (building
+        the view and the palette store if needed), ``False`` forces the
+        scalar reference loop.  Results are bit-identical either way;
+        ``ColorReduce`` routes this through its ``graph_use_batch`` flag,
+        forcing the sweep for collected instances at or above the cutover
+        (depth-0 instances may arrive CSR-cold) and the scalar loop below
+        it.
 
     Raises
     ------
@@ -84,7 +101,7 @@ def greedy_list_coloring(
         invariant.
     """
     if use_batch is None:
-        use_batch = graph.has_csr()
+        use_batch = graph.has_csr() and graph.num_nodes >= GREEDY_ARRAY_CUTOVER_NODES
     if use_batch:
         result = _greedy_over_arrays(graph, palettes, order, already_colored)
         if result is not _FALLBACK:

@@ -38,6 +38,11 @@ class LowSpaceParameters:
     selection_max_candidates: int = 2048
     selection_batch_size: int = 16
     selection_use_batch: bool = True
+    #: Shard candidate-slab scoring across this many worker processes
+    #: (:mod:`repro.parallel`); outcomes are bit-identical for every value
+    #: and ``1`` (default) is the zero-overhead in-process path — see
+    #: :attr:`repro.core.params.ColorReduceParameters.parallel_workers`.
+    parallel_workers: int = 1
     #: Route the graph-layer batch kernels: CSR-backed bin-instance
     #: extraction, the selected pair's batched node-level classification
     #: (:func:`repro.core.low_space.machine_sets.node_level_outcome_batch`),
@@ -64,6 +69,8 @@ class LowSpaceParameters:
             raise ConfigurationError("low_degree_threshold_override must be positive")
         if self.machine_chunk_override is not None and self.machine_chunk_override < 1:
             raise ConfigurationError("machine_chunk_override must be positive")
+        if self.parallel_workers < 1:
+            raise ConfigurationError("parallel_workers must be at least 1")
 
     # ------------------------------------------------------------------
     @classmethod

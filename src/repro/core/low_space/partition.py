@@ -148,6 +148,7 @@ class LowSpacePartition:
             candidate_salt=salt,
             rng_seed=salt,
             use_batch=self.params.selection_use_batch,
+            parallel_workers=self.params.parallel_workers,
         )
         wrapped_charge = None
         if charge is not None:

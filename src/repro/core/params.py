@@ -74,6 +74,14 @@ class ColorReduceParameters:
         Score selection batches through the vectorized cost kernels
         (bit-identical outcomes; disable to force the scalar reference
         path, e.g. for benchmarking the kernels themselves).
+    parallel_workers:
+        Shard candidate-slab scoring across this many worker processes
+        (:mod:`repro.parallel`): each selection batch / conditional-
+        expectation chunk is split by the deterministic planner, scored by
+        the workers through the same batched evaluator (shipped once per
+        Partition level), and reduced positionally — selected seeds,
+        recursion trees and colorings are bit-identical for every value.
+        ``1`` (default) is the zero-overhead in-process path.
     graph_use_batch:
         Route the graph-layer batch kernels: bin instances (and
         capacity-split pieces) materialise through the CSR-backed
@@ -121,6 +129,7 @@ class ColorReduceParameters:
     selection_batch_size: int = 16
     selection_rng_seed: int = 0
     selection_use_batch: bool = True
+    parallel_workers: int = 1
     graph_use_batch: bool = True
     enforce_palette_surplus: bool = True
 
@@ -137,6 +146,8 @@ class ColorReduceParameters:
             raise ConfigurationError("num_bins_override must be at least 2")
         if self.min_ell < 1:
             raise ConfigurationError("min_ell must be at least 1")
+        if self.parallel_workers < 1:
+            raise ConfigurationError("parallel_workers must be at least 1")
 
     # ------------------------------------------------------------------
     # alternate constructors

@@ -148,6 +148,7 @@ class Partition:
             rng_seed=self.params.selection_rng_seed * 1_000_003 + salt,
             candidate_salt=salt,
             use_batch=self.params.selection_use_batch,
+            parallel_workers=self.params.parallel_workers,
         )
         charge = context.selection_charge_callback("hash-selection") if context else None
         target = self.params.cost_target(ell, global_nodes)

@@ -55,6 +55,19 @@ Batched costs are required to be bit-identical to their scalar form, so the
 selected pair, its cost, and all accounting (``evaluations``,
 ``rounds_charged``) are independent of the path; ``use_batch=False`` forces
 the scalar reference path.
+
+Multiprocess scoring
+--------------------
+With ``parallel_workers > 1`` each slab is additionally sharded across a
+pool of worker processes (:mod:`repro.parallel`): the deterministic planner
+splits the slab into contiguous per-worker sub-slabs, every worker scores
+its shard through the evaluator's own ``many`` kernel (the evaluator is
+shipped once per Partition level, its static arrays rebuilt worker-side
+once), and the parent reassembles the cost vectors in candidate order.
+Workers return values, never decisions, so the argmin / first-feasible
+reduction stays positional in the parent and the selected seeds are
+bit-identical for every worker count — ``parallel_workers=1`` (default)
+keeps the zero-overhead in-process path and never spawns anything.
 """
 
 from __future__ import annotations
@@ -145,6 +158,12 @@ class HashPairSelector:
         Score candidate batches through the cost's vectorized ``many``
         method when it offers one (see the module notes on batching below);
         disable to force the scalar reference path, e.g. for benchmarking.
+    parallel_workers:
+        Shard batched slabs across this many worker processes (see the
+        module notes on multiprocess scoring).  ``1`` (default) scores
+        in-process with zero parallel overhead; values above 1 require the
+        cost to be a shippable batched evaluator, else scoring stays
+        in-process.  Outcomes are identical for every value.
     """
 
     def __init__(
@@ -161,6 +180,7 @@ class HashPairSelector:
         rng_seed: int = 0,
         candidate_salt: int = 0,
         use_batch: bool = True,
+        parallel_workers: int = 1,
     ) -> None:
         if chunk_bits < 1:
             raise ConfigurationError("chunk_bits must be positive")
@@ -170,6 +190,8 @@ class HashPairSelector:
             raise ConfigurationError("batch_size must be positive")
         if max_candidates < 1:
             raise ConfigurationError("max_candidates must be positive")
+        if parallel_workers < 1:
+            raise ConfigurationError("parallel_workers must be positive")
         self.family1 = family1
         self.family2 = family2
         self.strategy = SelectionStrategy(strategy)
@@ -181,6 +203,7 @@ class HashPairSelector:
         self.rng_seed = rng_seed
         self.candidate_salt = candidate_salt
         self.use_batch = use_batch
+        self.parallel_workers = parallel_workers
 
     # ------------------------------------------------------------------
     # public API
@@ -396,6 +419,14 @@ class HashPairSelector:
             return None
         if not getattr(cost, "batch_enabled", True):
             return None
+        if self.parallel_workers > 1:
+            from repro.parallel.executor import parallel_many_scorer
+
+            scorer = parallel_many_scorer(cost, self.parallel_workers)
+            if scorer is not None:
+                # Sharded scoring returns the exact `many` value vector, so
+                # the positional scans below are untouched by worker count.
+                return scorer
         return many
 
     def _completions(self, remaining_bits: int):

@@ -61,3 +61,9 @@ class DerandomizationError(ReproError):
 
 class HashFamilyError(ReproError):
     """Raised for invalid hash-family parameters (e.g. domain too large)."""
+
+
+class ParallelExecutionError(ReproError):
+    """Raised when the multiprocess slab-scoring pool fails (a worker died,
+    an evaluator could not cross the process boundary, or results timed
+    out).  Never raised on the default in-process path."""

@@ -364,6 +364,19 @@ class BatchCostEvaluatorBase:
     def __init__(self) -> None:
         self._prep: Optional[dict] = None
 
+    def __getstate__(self) -> dict:
+        """Pickle the evaluator without its prepared static arrays.
+
+        ``_prep`` is a pure cache (and holds a module reference, which
+        pickle rejects); a worker process receiving the evaluator rebuilds
+        the arrays once from the instance state — the parallel layer
+        (:mod:`repro.parallel.slabs`) ships evaluators once per Partition
+        level, so each worker pays that preparation once, not per slab.
+        """
+        state = self.__dict__.copy()
+        state["_prep"] = None
+        return state
+
     @property
     def batch_enabled(self) -> bool:
         """Whether :meth:`many` may be used instead of per-pair calls.

@@ -1,0 +1,50 @@
+"""Parallel execution layer: multiprocess candidate-slab scoring.
+
+The derandomized seed search scores slabs of candidate hash pairs through
+the batched cost evaluators; each slab is embarrassingly parallel across
+candidates (the paper's machines evaluating conditional expectations for
+candidate seed chunks concurrently).  This package shards slabs over worker
+processes while keeping every outcome bit-identical to the in-process path:
+
+* :mod:`repro.parallel.planner` — deterministic contiguous shard plans,
+* :mod:`repro.parallel.slabs` — what crosses the process boundary (compact
+  pair payloads per slab; the evaluator envelope once per level),
+* :mod:`repro.parallel.executor` — the long-lived worker pool and the
+  ``pairs -> values`` scorer the selection strategies call.
+
+Entry point for users: the ``parallel_workers`` knob on
+:class:`repro.core.params.ColorReduceParameters` /
+:class:`repro.core.low_space.params.LowSpaceParameters` (and the CLI's
+``--parallel-workers``), routed through
+:class:`repro.derand.conditional_expectation.HashPairSelector`.
+``parallel_workers=1`` (the default) never touches this package.
+"""
+
+from repro.parallel.executor import (
+    ParallelSlabScorer,
+    SlabExecutor,
+    get_executor,
+    parallel_many_scorer,
+    shutdown_executors,
+)
+from repro.parallel.planner import plan_shards, shard_slices
+from repro.parallel.slabs import (
+    decode_evaluator,
+    decode_slab,
+    encode_evaluator,
+    encode_slab,
+)
+
+__all__ = [
+    "ParallelSlabScorer",
+    "SlabExecutor",
+    "decode_evaluator",
+    "decode_slab",
+    "encode_evaluator",
+    "encode_slab",
+    "get_executor",
+    "parallel_many_scorer",
+    "plan_shards",
+    "shard_slices",
+    "shutdown_executors",
+]

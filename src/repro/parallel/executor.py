@@ -1,0 +1,334 @@
+"""Worker-process pool for parallel candidate-slab scoring.
+
+:class:`SlabExecutor` owns ``W`` long-lived worker processes (the in-repo
+analogue of the paper's MPC machines evaluating conditional expectations for
+candidate seed chunks in parallel).  The protocol is deliberately tiny:
+
+* ``("load", token, envelope)`` — broadcast once per evaluator (i.e. once
+  per Partition level): the pickled cost evaluator
+  (:func:`repro.parallel.slabs.encode_evaluator`), cached worker-side under
+  ``token``.  The static arrays are **not** in the envelope; each worker
+  prepares them once on its first slab and reuses them for every later slab
+  of the level.
+* ``("score", token, job, shard, payload)`` — one shard of a candidate slab
+  (:func:`repro.parallel.slabs.encode_slab`); the worker answers with the
+  shard's cost vector, computed by the evaluator's ordinary ``many`` kernel.
+
+Determinism rule
+----------------
+Workers return *values*, never decisions.  The parent reassembles the
+per-shard vectors in shard order (shards tile the slab in candidate order —
+see :mod:`repro.parallel.planner`), so the assembled vector equals
+``evaluator.many(slab)`` entry for entry, and the selection's positional
+argmin / first-feasible reduction picks the same pair for every worker
+count.  The evaluator must not be mutated while slabs are in flight (no
+in-repo caller does: selection completes before the instance graph changes).
+
+Pools are cached per worker count (:func:`get_executor`) and torn down at
+interpreter exit; a pool whose workers died is replaced transparently on the
+next lookup.  ``workers=1`` never reaches this module — the selector keeps
+its zero-overhead in-process path.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.parallel import slabs
+from repro.parallel.planner import plan_shards
+
+#: Evaluators cached per worker before FIFO eviction; recursion produces one
+#: evaluator per Partition level, so a small window covers the active levels.
+WORKER_CACHE_SIZE = 4
+
+#: Slabs smaller than this stay in-process regardless of worker count: a
+#: shard must carry enough pairs to amortise its encode + queue round-trip,
+#: and sub-millisecond numpy work per shard loses to IPC (measured: the
+#: default pipelines' 16-pair feasibility batches shard at a net loss, while
+#: the conditional-expectation chunk slabs — 100+ pairs — win).  Either path
+#: returns the exact ``many`` values, so this is a pure perf threshold.
+MIN_PARALLEL_PAIRS = 32
+
+#: Seconds to wait for a shard result before declaring the pool wedged.
+DEFAULT_RESULT_TIMEOUT = 600.0
+
+_TOKEN_COUNTER = itertools.count(1)
+_TOKEN_ATTR = "_parallel_token"
+
+
+def _preferred_start_method() -> str:
+    """``fork`` where available (cheap, inherits imports), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class _LoadFailure:
+    """Worker-side marker: the evaluator envelope failed to unpickle."""
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+
+def _worker_main(task_queue, result_queue) -> None:
+    """Worker loop: cache evaluators by token, score shards via ``many``."""
+    from collections import OrderedDict
+
+    cache: "OrderedDict[int, object]" = OrderedDict()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        kind = task[0]
+        if kind == "load":
+            _, token, envelope = task
+            try:
+                cache[token] = slabs.decode_evaluator(envelope)
+            except BaseException as exc:  # noqa: BLE001 - reported on use
+                cache[token] = _LoadFailure(f"evaluator failed to load: {exc!r}")
+            cache.move_to_end(token)
+            # FIFO eviction by ship order.  Loads are broadcast to every
+            # worker in the same order, and scoring never reorders the
+            # cache, so all workers — and the parent's mirror of this
+            # window (SlabExecutor._loaded_tokens) — evict identically.
+            while len(cache) > WORKER_CACHE_SIZE:
+                cache.popitem(last=False)
+            continue
+        _, token, job, shard, payload = task
+        try:
+            evaluator = cache.get(token)
+            if evaluator is None:
+                raise ParallelExecutionError(
+                    f"no evaluator loaded for token {token}"
+                )
+            if isinstance(evaluator, _LoadFailure):
+                raise ParallelExecutionError(evaluator.message)
+            pairs = slabs.decode_slab(payload)
+            values = evaluator.many(pairs)
+            result_queue.put(("ok", job, shard, [float(v) for v in values]))
+        except BaseException as exc:  # noqa: BLE001 - surfaced in the parent
+            result_queue.put(("error", job, shard, repr(exc)))
+
+
+class SlabExecutor:
+    """A pool of worker processes scoring candidate-slab shards."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        start_method: Optional[str] = None,
+        result_timeout: float = DEFAULT_RESULT_TIMEOUT,
+    ) -> None:
+        if num_workers < 2:
+            raise ConfigurationError(
+                "SlabExecutor needs at least 2 workers; workers=1 stays in-process"
+            )
+        self.num_workers = num_workers
+        self.result_timeout = result_timeout
+        from collections import OrderedDict
+
+        context = multiprocessing.get_context(start_method or _preferred_start_method())
+        self._result_queue = context.Queue()
+        self._task_queues = []
+        self._processes = []
+        # Mirror of every worker's evaluator cache, in ship (FIFO) order;
+        # evicting here exactly when the workers evict keeps "is it still
+        # loaded over there?" answerable without a round trip.
+        self._loaded_tokens: "OrderedDict[int, None]" = OrderedDict()
+        self._jobs = itertools.count(1)
+        self._closed = False
+        for _ in range(num_workers):
+            task_queue = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(task_queue, self._result_queue),
+                daemon=True,
+            )
+            process.start()
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether the pool is usable (open, all workers running)."""
+        return not self._closed and all(p.is_alive() for p in self._processes)
+
+    def score_slab(self, evaluator, pairs: Sequence) -> List[float]:
+        """Score one candidate slab across the pool.
+
+        Ships the evaluator on first sight (broadcast to every worker),
+        splits the slab with the deterministic planner, and reassembles the
+        per-shard cost vectors in shard order — the result equals
+        ``evaluator.many(pairs)`` exactly.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if self._closed:
+            raise ParallelExecutionError("executor is closed")
+        token = self._token_of(evaluator)
+        if token not in self._loaded_tokens:
+            envelope = slabs.encode_evaluator(evaluator)
+            for task_queue in self._task_queues:
+                task_queue.put(("load", token, envelope))
+            self._loaded_tokens[token] = None
+            while len(self._loaded_tokens) > WORKER_CACHE_SIZE:
+                # The workers evict the same oldest-shipped token on this
+                # load; a later slab for it will simply re-ship.
+                self._loaded_tokens.popitem(last=False)
+        shards = plan_shards(len(pairs), self.num_workers)
+        job = next(self._jobs)
+        for shard_index, (start, stop) in enumerate(shards):
+            payload = slabs.encode_slab(pairs[start:stop])
+            # At most num_workers shards, so this assignment is one shard
+            # per worker — and deterministic, like the plan itself.
+            self._task_queues[shard_index % self.num_workers].put(
+                ("score", token, job, shard_index, payload)
+            )
+        import queue as queue_module
+        import time
+
+        deadline = time.monotonic() + self.result_timeout
+        collected: Dict[int, List[float]] = {}
+        while len(collected) < len(shards):
+            # Short poll intervals so a dead worker is noticed promptly
+            # instead of stalling until the full result timeout.
+            try:
+                kind, reply_job, shard_index, data = self._result_queue.get(
+                    timeout=1.0
+                )
+            except queue_module.Empty:
+                dead = [p.pid for p in self._processes if not p.is_alive()]
+                if dead:
+                    self.close()
+                    raise ParallelExecutionError(
+                        f"worker process(es) {dead} died while scoring; "
+                        "worker pool shut down"
+                    )
+                if time.monotonic() > deadline:
+                    self.close()
+                    raise ParallelExecutionError(
+                        f"timed out after {self.result_timeout}s waiting for "
+                        "shard results; worker pool shut down"
+                    )
+                continue
+            if reply_job != job:
+                # Stale reply from a job that failed part-way; drop it.
+                continue
+            if kind == "error":
+                self.close()
+                raise ParallelExecutionError(
+                    f"worker failed while scoring shard {shard_index}: {data}"
+                )
+            collected[shard_index] = data
+        values: List[float] = []
+        for shard_index in range(len(shards)):
+            values.extend(collected[shard_index])
+        return values
+
+    def close(self) -> None:
+        """Stop the workers; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue, process in zip(self._task_queues, self._processes):
+            try:
+                task_queue.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.terminate()
+                process.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _token_of(evaluator) -> int:
+        """A process-unique token identifying this evaluator instance."""
+        token = getattr(evaluator, _TOKEN_ATTR, None)
+        if token is None:
+            token = next(_TOKEN_COUNTER)
+            setattr(evaluator, _TOKEN_ATTR, token)
+        return token
+
+
+# ----------------------------------------------------------------------
+# process-wide pool registry
+# ----------------------------------------------------------------------
+_EXECUTORS: Dict[int, SlabExecutor] = {}
+
+
+def get_executor(num_workers: int) -> SlabExecutor:
+    """The shared pool for ``num_workers``, (re)spawned lazily.
+
+    Pools persist across selections and Partition levels so workers are
+    spawned once per process, and are replaced if their workers died.
+    """
+    executor = _EXECUTORS.get(num_workers)
+    if executor is None or not executor.alive:
+        if executor is not None:
+            executor.close()
+        executor = SlabExecutor(num_workers)
+        _EXECUTORS[num_workers] = executor
+    return executor
+
+
+def shutdown_executors() -> None:
+    """Close every cached pool (used by tests and at interpreter exit)."""
+    while _EXECUTORS:
+        _, executor = _EXECUTORS.popitem()
+        executor.close()
+
+
+atexit.register(shutdown_executors)
+
+
+class ParallelSlabScorer:
+    """``pairs -> values`` adapter the selection strategies call.
+
+    Drop-in for the evaluator's bound ``many``: slabs below the IPC
+    break-even (``min_pairs``, defaulting to
+    ``max(2 * workers, MIN_PARALLEL_PAIRS)``) are scored in-process;
+    larger slabs go through the pool.  Either path returns the exact
+    ``many`` values, so the choice never affects the selected pair.
+    """
+
+    def __init__(
+        self, cost, executor: SlabExecutor, min_pairs: Optional[int] = None
+    ) -> None:
+        self.cost = cost
+        self.executor = executor
+        self.min_pairs = (
+            min_pairs
+            if min_pairs is not None
+            else max(2 * executor.num_workers, MIN_PARALLEL_PAIRS)
+        )
+
+    def __call__(self, pairs) -> List[float]:
+        pairs = list(pairs)
+        if len(pairs) < self.min_pairs:
+            return self.cost.many(pairs)
+        return self.executor.score_slab(self.cost, pairs)
+
+
+def parallel_many_scorer(cost, num_workers: int) -> Optional[ParallelSlabScorer]:
+    """A parallel scorer for ``cost``, or ``None`` if it cannot be shipped.
+
+    Only the batched cost evaluators (anything deriving from
+    :class:`repro.hashing.batch.BatchCostEvaluatorBase`, which guarantees a
+    picklable state and a slab-sliced ``many``) cross the process boundary;
+    other ``many``-bearing costs stay on the in-process path.
+    """
+    if num_workers < 2:
+        return None
+    from repro.hashing.batch import BatchCostEvaluatorBase
+
+    if not isinstance(cost, BatchCostEvaluatorBase):
+        return None
+    return ParallelSlabScorer(cost, get_executor(num_workers))

@@ -1,0 +1,64 @@
+"""Deterministic shard planning for candidate-slab scoring.
+
+A *slab* is one batch of candidate hash pairs the derandomized selection
+wants scored (a feasibility-scan batch, an exhaustive batch, or one chunk's
+candidate x completion set of the conditional-expectation search).  To score
+a slab on ``W`` worker processes it is split into at most ``W`` contiguous
+*shards*; each worker scores one shard through the evaluator's ordinary
+``many`` kernel and the parent concatenates the per-shard value vectors in
+shard order.
+
+The plan is a pure function of ``(num_items, num_workers)``:
+
+* shards are contiguous half-open ranges ``[start, stop)`` tiling
+  ``[0, num_items)`` in order,
+* shard sizes differ by at most one, with the larger shards first
+  (``divmod`` layout), so the plan is independent of any runtime state,
+* an empty slab yields no shards, and a slab smaller than the worker count
+  yields one single-item shard per item.
+
+Because the shards tile the slab *in candidate order* and ``many`` is
+element-wise, the concatenated values are exactly ``many(slab)`` — the
+selection's argmin / first-feasible reduction then runs on the full vector
+and is positional (lowest candidate index wins ties), so the selected pair
+is bit-identical for every worker count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: A contiguous half-open index range ``[start, stop)`` of one shard.
+Shard = Tuple[int, int]
+
+
+def plan_shards(num_items: int, num_workers: int) -> List[Shard]:
+    """Split ``[0, num_items)`` into at most ``num_workers`` contiguous shards.
+
+    Deterministic: sizes are ``ceil`` for the first ``num_items %
+    num_workers`` shards and ``floor`` for the rest.  Empty shards are never
+    produced; fewer items than workers simply yields fewer (single-item)
+    shards.
+    """
+    if num_items < 0:
+        raise ConfigurationError("num_items must be non-negative")
+    if num_workers < 1:
+        raise ConfigurationError("num_workers must be positive")
+    if num_items == 0:
+        return []
+    shards = min(num_items, num_workers)
+    base, extra = divmod(num_items, shards)
+    plan: List[Shard] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        plan.append((start, start + size))
+        start += size
+    return plan
+
+
+def shard_slices(items, num_workers: int):
+    """The planned shards of ``items`` as actual sub-lists, in shard order."""
+    return [items[start:stop] for start, stop in plan_shards(len(items), num_workers)]

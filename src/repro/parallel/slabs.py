@@ -1,0 +1,103 @@
+"""Serialization of candidate slabs and cost evaluators across processes.
+
+Two kinds of payload cross the process boundary, with very different
+lifetimes:
+
+**The evaluator envelope** — the batched cost evaluator
+(:class:`repro.core.classification.PartitionCostEvaluator` or
+:class:`repro.core.low_space.machine_sets.LowSpaceCostEvaluator`) pickled
+*once per Partition level* and cached by every worker.  It carries the
+instance (graph, palettes, parameters) but **not** the prepared static
+arrays: :class:`repro.hashing.batch.BatchCostEvaluatorBase` drops its
+``_prep`` cache on pickling (the dict holds a module reference and is a pure
+cache), so each worker rebuilds the arrays once on its first slab and reuses
+them for every later slab of the level — the static arrays are shipped (as
+their compact source-of-truth: CSR view, palette store) once per level, not
+once per slab.
+
+**The slab payload** — one shard of candidate pairs, encoded compactly as
+coefficient rows plus one ``(prime, domain, range)`` descriptor per side.
+The selection guarantees slab uniformity (all pairs from the same two
+families; re-asserted here), so per-pair family metadata would be pure
+overhead.  Decoded functions hash identically to the originals — the cost
+kernels read only ``coefficients``/``prime``/``domain_size``/``range_size``
+— but carry an empty :class:`~repro.hashing.seeds.Seed`: seeds never cross
+the boundary because workers return *costs*, and the parent keeps the
+original pair objects for the selection outcome.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import List, Sequence, Tuple
+
+from repro.derand.cost import assert_uniform_pair_families
+from repro.hashing.family import HashFunction
+from repro.hashing.seeds import Seed
+
+Pair = Tuple[HashFunction, HashFunction]
+
+#: ``(prime, domain_size, range_size)`` of one hash family side.
+FamilyDescriptor = Tuple[int, int, int]
+
+#: Encoded slab: the two family descriptors plus one coefficient row per
+#: pair and side, aligned by pair index.
+SlabPayload = Tuple[
+    FamilyDescriptor,
+    FamilyDescriptor,
+    List[Tuple[int, ...]],
+    List[Tuple[int, ...]],
+]
+
+
+def encode_slab(pairs: Sequence[Pair]) -> SlabPayload:
+    """Encode a uniform-family shard of candidate pairs for shipping."""
+    assert_uniform_pair_families(pairs)
+    h1_ref, h2_ref = pairs[0]
+    descriptor1 = (h1_ref.prime, h1_ref.domain_size, h1_ref.range_size)
+    descriptor2 = (h2_ref.prime, h2_ref.domain_size, h2_ref.range_size)
+    coeffs1 = [tuple(h1.coefficients) for h1, _ in pairs]
+    coeffs2 = [tuple(h2.coefficients) for _, h2 in pairs]
+    return descriptor1, descriptor2, coeffs1, coeffs2
+
+
+def decode_slab(payload: SlabPayload) -> List[Pair]:
+    """Rebuild the cost-equivalent pairs of an encoded shard."""
+    descriptor1, descriptor2, coeffs1, coeffs2 = payload
+    prime1, domain1, range1 = descriptor1
+    prime2, domain2, range2 = descriptor2
+    empty = Seed.empty()
+    return [
+        (
+            HashFunction(
+                coefficients=row1,
+                prime=prime1,
+                domain_size=domain1,
+                range_size=range1,
+                seed=empty,
+            ),
+            HashFunction(
+                coefficients=row2,
+                prime=prime2,
+                domain_size=domain2,
+                range_size=range2,
+                seed=empty,
+            ),
+        )
+        for row1, row2 in zip(coeffs1, coeffs2)
+    ]
+
+
+def encode_evaluator(evaluator) -> bytes:
+    """Pickle an evaluator for the once-per-level broadcast to workers.
+
+    ``BatchCostEvaluatorBase.__getstate__`` excludes the prepared static
+    arrays, so the envelope is the instance itself (graph, palettes,
+    parameters) and each worker re-prepares once.
+    """
+    return pickle.dumps(evaluator, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_evaluator(blob: bytes):
+    """Inverse of :func:`encode_evaluator` (runs in the worker process)."""
+    return pickle.loads(blob)

@@ -1,0 +1,138 @@
+"""Unit tests for the CI perf-regression gate (``benchmarks/check_regression.py``).
+
+The gate is plain stdlib and runs as a script in CI, so it is exercised
+here the same way: as a subprocess over synthetic ``BENCH_p*.json``
+fixtures, checking the pass / regression / skip / vacuous-pass exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+
+
+def _write(directory: Path, name: str, records) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(records))
+
+
+def _run(*args: str):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+def _record(op="kernel", n=600, speedup=4.0, **extra):
+    return {"op": op, "n": n, "scalar_s": 1.0, "batch_s": 0.25, "speedup": speedup, **extra}
+
+
+def test_gate_passes_within_tolerance(tmp_path):
+    _write(tmp_path / "base", "BENCH_p1.json", [_record(speedup=4.0)])
+    _write(tmp_path / "cur", "BENCH_p1.json", [_record(speedup=2.5)])
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+        "--tolerance", "0.5",
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "none regressed" in result.stdout
+
+
+def test_gate_fails_on_regression(tmp_path):
+    _write(tmp_path / "base", "BENCH_p1.json", [_record(speedup=4.0)])
+    _write(tmp_path / "cur", "BENCH_p1.json", [_record(speedup=1.5)])
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+        "--tolerance", "0.5",
+    )
+    assert result.returncode == 1
+    assert "REGRESSION" in result.stdout
+
+
+def test_gate_fails_on_missing_op(tmp_path):
+    _write(tmp_path / "base", "BENCH_p1.json", [_record(op="gone")])
+    _write(tmp_path / "cur", "BENCH_p1.json", [_record(op="other")])
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    )
+    assert result.returncode == 1
+    assert "MISSING" in result.stdout
+
+
+def test_skip_rules_cpus_scale_and_gate_flag(tmp_path):
+    _write(
+        tmp_path / "base",
+        "BENCH_p5.json",
+        [
+            _record(op="parallel", speedup=2.0, cpus=1),
+            _record(op="micro", speedup=9.0, gate=False),
+            _record(op="scaled", n=600, speedup=9.0),
+            _record(op="stable", speedup=3.0),
+        ],
+    )
+    _write(
+        tmp_path / "cur",
+        "BENCH_p5.json",
+        [
+            _record(op="parallel", speedup=0.1, cpus=4),  # cpus mismatch
+            _record(op="micro", speedup=0.1, gate=False),  # opted out
+            _record(op="scaled", n=2000, speedup=0.1),  # scale mismatch
+            _record(op="stable", speedup=3.0),  # actually compared
+        ],
+    )
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert result.stdout.count("skipped") == 3
+    assert "1 record(s) within tolerance" in result.stdout
+
+
+def test_vacuous_pass_is_a_failure(tmp_path):
+    _write(tmp_path / "base", "BENCH_p1.json", [_record(n=600)])
+    _write(tmp_path / "cur", "BENCH_p1.json", [_record(n=2000)])
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    )
+    assert result.returncode == 2
+    assert "every record was skipped" in result.stdout
+
+
+def test_update_refreshes_baselines(tmp_path):
+    _write(tmp_path / "cur", "BENCH_p1.json", [_record(speedup=5.5)])
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+        "--update",
+    )
+    assert result.returncode == 0
+    copied = json.loads((tmp_path / "base" / "BENCH_p1.json").read_text())
+    assert copied[0]["speedup"] == 5.5
+
+
+def test_missing_baseline_dir_is_an_error(tmp_path):
+    result = _run("--baseline-dir", str(tmp_path / "nowhere"))
+    assert result.returncode == 2
+
+
+def test_repo_baselines_exist_for_both_scales():
+    baselines = SCRIPT.parent / "baselines"
+    for scale in ("smoke", "default"):
+        files = sorted(p.name for p in (baselines / scale).glob("BENCH_p*.json"))
+        assert files == [
+            "BENCH_p1.json",
+            "BENCH_p2.json",
+            "BENCH_p3.json",
+            "BENCH_p4.json",
+            "BENCH_p5.json",
+        ], f"committed {scale} baselines incomplete: {files}"

@@ -1,0 +1,400 @@
+"""Determinism and unit tests for the parallel execution layer.
+
+The contract under test (see ``docs/ARCHITECTURE.md``): for ANY worker
+count, the multiprocess candidate-slab scoring produces bit-identical
+selected seeds, recursion trees, colorings and ledger counts — workers
+return values, never decisions, and the shard plan tiles every slab in
+candidate order.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.classification import partition_cost_function
+from repro.core.color_reduce import ColorReduce
+from repro.core.low_space.color_reduce import LowSpaceColorReduce
+from repro.core.low_space.params import LowSpaceParameters
+from repro.core.params import ColorReduceParameters
+from repro.core.partition import Partition
+from repro.derand.conditional_expectation import (
+    HashPairSelector,
+    SelectionStrategy,
+)
+from repro.errors import ConfigurationError, DerandomizationError
+from repro.graph.generators import erdos_renyi
+from repro.graph.palettes import PaletteAssignment
+from repro.parallel import (
+    ParallelSlabScorer,
+    encode_slab,
+    decode_slab,
+    get_executor,
+    parallel_many_scorer,
+    plan_shards,
+    shard_slices,
+    shutdown_executors,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_executors()
+
+
+@pytest.fixture(autouse=True)
+def _tiny_parallel_floor(monkeypatch):
+    """Drop the IPC break-even floor so the small test instances genuinely
+    exercise multiprocess scoring (production keeps 16-pair batches
+    in-process; values are identical either way, but these tests exist to
+    prove the cross-process path bit-exact)."""
+    from repro.parallel import executor as executor_module
+
+    monkeypatch.setattr(executor_module, "MIN_PARALLEL_PAIRS", 2)
+
+
+# ----------------------------------------------------------------------
+# shard planner
+# ----------------------------------------------------------------------
+class TestShardPlanner:
+    def test_empty_slab_has_no_shards(self):
+        assert plan_shards(0, 4) == []
+
+    def test_slab_smaller_than_worker_count(self):
+        assert plan_shards(3, 4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_uneven_split_puts_larger_shards_first(self):
+        assert plan_shards(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_single_worker_is_one_shard(self):
+        assert plan_shards(7, 1) == [(0, 7)]
+
+    def test_plans_tile_the_slab_in_order(self):
+        for num_items in range(0, 40):
+            for num_workers in range(1, 9):
+                plan = plan_shards(num_items, num_workers)
+                assert len(plan) == min(num_items, num_workers)
+                covered = [i for start, stop in plan for i in range(start, stop)]
+                assert covered == list(range(num_items))
+                sizes = [stop - start for start, stop in plan]
+                if sizes:
+                    assert max(sizes) - min(sizes) <= 1
+                    assert sizes == sorted(sizes, reverse=True)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(-1, 2)
+        with pytest.raises(ConfigurationError):
+            plan_shards(4, 0)
+
+    def test_shard_slices_match_plan(self):
+        items = list(range(11))
+        slices = shard_slices(items, 3)
+        assert [len(s) for s in slices] == [4, 4, 3]
+        assert [x for s in slices for x in s] == items
+
+
+# ----------------------------------------------------------------------
+# shared small instance
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def selection_setup():
+    graph = erdos_renyi(220, 0.12, seed=17)
+    palettes = PaletteAssignment.delta_plus_one(graph)
+    params = ColorReduceParameters.scaled(num_bins=3)
+    ell = max(float(graph.max_degree()), 2.0)
+    family1, family2 = Partition(params).build_families(
+        graph, palettes, ell, graph.num_nodes
+    )
+    return graph, palettes, params, ell, family1, family2
+
+
+def _fresh_cost(setup):
+    graph, palettes, params, ell, _, _ = setup
+    return partition_cost_function(graph, palettes, params, ell, graph.num_nodes)
+
+
+def _pairs(setup, count, salt=0):
+    _, _, _, _, family1, family2 = setup
+    return [
+        (family1.from_seed_int(3 * i + salt), family2.from_seed_int(5 * i + 1 + salt))
+        for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# slab codec
+# ----------------------------------------------------------------------
+class TestSlabCodec:
+    def test_roundtrip_preserves_hashing(self, selection_setup):
+        pairs = _pairs(selection_setup, 6)
+        decoded = decode_slab(encode_slab(pairs))
+        assert len(decoded) == len(pairs)
+        for (h1, h2), (d1, d2) in zip(pairs, decoded):
+            assert d1.coefficients == h1.coefficients
+            assert d2.coefficients == h2.coefficients
+            assert [d1(x) for x in range(20)] == [h1(x) for x in range(20)]
+            assert [d2(x) for x in range(20)] == [h2(x) for x in range(20)]
+
+    def test_roundtrip_costs_match(self, selection_setup):
+        cost = _fresh_cost(selection_setup)
+        pairs = _pairs(selection_setup, 5)
+        decoded = decode_slab(encode_slab(pairs))
+        assert cost.many(decoded) == cost.many(pairs)
+
+    def test_mixed_families_rejected(self, selection_setup):
+        _, _, params, _, family1, family2 = selection_setup
+        from repro.hashing.family import KWiseIndependentFamily
+
+        other = KWiseIndependentFamily(
+            domain_size=family1.domain_size + 13,
+            range_size=family1.range_size,
+            independence=params.independence,
+        )
+        pairs = _pairs(selection_setup, 2) + [
+            (other.from_seed_int(1), family2.from_seed_int(1))
+        ]
+        with pytest.raises(ConfigurationError):
+            encode_slab(pairs)
+
+
+# ----------------------------------------------------------------------
+# evaluator shipping
+# ----------------------------------------------------------------------
+class TestEvaluatorShipping:
+    def test_pickle_drops_prepared_arrays_and_reproduces_costs(
+        self, selection_setup
+    ):
+        cost = _fresh_cost(selection_setup)
+        pairs = _pairs(selection_setup, 4)
+        reference = cost.many(pairs)  # warms _prep
+        assert cost._prep is not None
+        clone = pickle.loads(pickle.dumps(cost))
+        assert clone._prep is None
+        assert clone.many(pairs) == reference
+        assert cost._prep is not None  # original untouched
+
+    def test_plain_costs_stay_in_process(self):
+        assert parallel_many_scorer(lambda h1, h2: 0.0, 4) is None
+
+    def test_workers_one_never_builds_a_scorer(self, selection_setup):
+        cost = _fresh_cost(selection_setup)
+        assert parallel_many_scorer(cost, 1) is None
+        _, _, _, _, family1, family2 = selection_setup
+        selector = HashPairSelector(family1, family2, parallel_workers=1)
+        assert selector._batch_cost(cost) == cost.many
+
+
+# ----------------------------------------------------------------------
+# executor
+# ----------------------------------------------------------------------
+class TestExecutor:
+    def test_sharded_scoring_equals_in_process_many(self, selection_setup):
+        cost = _fresh_cost(selection_setup)
+        pairs = _pairs(selection_setup, 23)
+        executor = get_executor(2)
+        assert executor.score_slab(cost, pairs) == cost.many(pairs)
+        # A second slab reuses the shipped evaluator (one token, no re-ship).
+        more = _pairs(selection_setup, 9, salt=100)
+        assert executor.score_slab(cost, more) == cost.many(more)
+        assert len(executor._loaded_tokens) == 1
+
+    def test_empty_slab(self, selection_setup):
+        cost = _fresh_cost(selection_setup)
+        assert get_executor(2).score_slab(cost, []) == []
+
+    def test_scorer_keeps_small_slabs_in_process(self, selection_setup):
+        cost = _fresh_cost(selection_setup)
+        scorer = parallel_many_scorer(cost, 2)
+        assert isinstance(scorer, ParallelSlabScorer)
+        small = _pairs(selection_setup, 3)
+        assert scorer(small) == cost.many(small)
+
+    def test_evicted_evaluators_are_reshipped(self, selection_setup):
+        # More evaluators than the worker-side cache window: the parent's
+        # mirror must evict in lockstep, so re-scoring an evicted evaluator
+        # re-ships it instead of failing with "no evaluator loaded".
+        from repro.parallel.executor import WORKER_CACHE_SIZE
+
+        executor = get_executor(2)
+        evaluators = [
+            _fresh_cost(selection_setup) for _ in range(WORKER_CACHE_SIZE + 2)
+        ]
+        pairs = _pairs(selection_setup, 11)
+        expected = evaluators[0].many(pairs)
+        for evaluator in evaluators:
+            assert executor.score_slab(evaluator, pairs) == expected
+        assert len(executor._loaded_tokens) <= WORKER_CACHE_SIZE
+        # evaluators[0] was evicted on both sides; the newest is still warm.
+        assert executor.score_slab(evaluators[0], pairs) == expected
+        assert executor.score_slab(evaluators[-1], pairs) == expected
+
+    def test_pool_is_replaced_after_shutdown(self, selection_setup):
+        first = get_executor(2)
+        shutdown_executors()
+        assert not first.alive
+        second = get_executor(2)
+        assert second is not first
+        cost = _fresh_cost(selection_setup)
+        pairs = _pairs(selection_setup, 8)
+        assert second.score_slab(cost, pairs) == cost.many(pairs)
+
+
+# ----------------------------------------------------------------------
+# selection determinism across worker counts
+# ----------------------------------------------------------------------
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _outcome_key(outcome):
+    return (
+        outcome.h1.seed,
+        outcome.h2.seed,
+        outcome.cost,
+        outcome.evaluations,
+        outcome.rounds_charged,
+        outcome.strategy,
+        outcome.fallback_used,
+    )
+
+
+class TestSelectionDeterminism:
+    def _select(self, setup, workers, strategy, **kwargs):
+        _, _, params, ell, family1, family2 = setup
+        graph = setup[0]
+        cost = _fresh_cost(setup)
+        selector = HashPairSelector(
+            family1,
+            family2,
+            strategy=strategy,
+            batch_size=16,
+            max_candidates=96,
+            candidate_salt=7,
+            parallel_workers=workers,
+            **kwargs,
+        )
+        target = params.cost_target(ell, graph.num_nodes)
+        return selector.select(cost, target_bound=target)
+
+    def test_first_feasible_identical_for_any_worker_count(self, selection_setup):
+        outcomes = {
+            workers: self._select(
+                selection_setup, workers, SelectionStrategy.FIRST_FEASIBLE
+            )
+            for workers in WORKER_COUNTS
+        }
+        keys = {_outcome_key(outcome) for outcome in outcomes.values()}
+        assert len(keys) == 1
+
+    def test_exhaustive_identical_for_any_worker_count(self, selection_setup):
+        outcomes = {
+            workers: self._select(
+                selection_setup, workers, SelectionStrategy.EXHAUSTIVE
+            )
+            for workers in WORKER_COUNTS
+        }
+        keys = {_outcome_key(outcome) for outcome in outcomes.values()}
+        assert len(keys) == 1
+
+    def test_conditional_expectation_identical_for_any_worker_count(
+        self, selection_setup
+    ):
+        outcomes = {
+            workers: self._select(
+                selection_setup,
+                workers,
+                SelectionStrategy.CONDITIONAL_EXPECTATION,
+                chunk_bits=4,
+                completion_samples=1,
+                exact_completion_bits=4,
+            )
+            for workers in WORKER_COUNTS
+        }
+        keys = {_outcome_key(outcome) for outcome in outcomes.values()}
+        assert len(keys) == 1
+
+    def test_infeasible_scan_raises_identically(self, selection_setup):
+        _, _, _, _, family1, family2 = selection_setup
+        messages = set()
+        for workers in (1, 3):
+            cost = _fresh_cost(selection_setup)
+            selector = HashPairSelector(
+                family1,
+                family2,
+                strategy=SelectionStrategy.FIRST_FEASIBLE,
+                batch_size=16,
+                max_candidates=48,
+                candidate_salt=7,
+                parallel_workers=workers,
+            )
+            with pytest.raises(DerandomizationError) as excinfo:
+                selector.select(cost, target_bound=-1.0)
+            messages.add(str(excinfo.value))
+        assert len(messages) == 1
+
+
+# ----------------------------------------------------------------------
+# end-to-end determinism on both pipelines
+# ----------------------------------------------------------------------
+class TestPipelineDeterminism:
+    def test_color_reduce_bit_identical_across_worker_counts(self):
+        graph = erdos_renyi(240, 0.1, seed=5)
+        palettes = PaletteAssignment.delta_plus_one(graph)
+        results = {}
+        for workers in WORKER_COUNTS:
+            params = ColorReduceParameters.scaled(
+                num_bins=3, parallel_workers=workers
+            )
+            results[workers] = ColorReduce(params).run(graph, palettes.copy())
+        base = results[1]
+        for workers in WORKER_COUNTS[1:]:
+            result = results[workers]
+            assert result.coloring == base.coloring
+            assert result.rounds == base.rounds
+            assert result.total_bad_nodes == base.total_bad_nodes
+            assert (
+                result.recursion_root.count_nodes()
+                == base.recursion_root.count_nodes()
+            )
+            assert result.max_recursion_depth == base.max_recursion_depth
+            assert result.ledger.rounds == base.ledger.rounds
+            assert result.ledger.message_words == base.ledger.message_words
+
+    def test_low_space_bit_identical_across_worker_counts(self):
+        graph = erdos_renyi(200, 0.1, seed=8)
+        palettes = PaletteAssignment.delta_plus_one(graph)
+        results = {}
+        for workers in WORKER_COUNTS:
+            params = LowSpaceParameters.scaled(
+                num_bins=3, low_degree_threshold=6, parallel_workers=workers
+            )
+            results[workers] = LowSpaceColorReduce(params).run(
+                graph, palettes.copy()
+            )
+        base = results[1]
+        for workers in WORKER_COUNTS[1:]:
+            result = results[workers]
+            assert result.coloring == base.coloring
+            assert result.rounds == base.rounds
+            assert result.total_mis_phases == base.total_mis_phases
+            assert result.max_recursion_depth == base.max_recursion_depth
+
+
+# ----------------------------------------------------------------------
+# parameter validation
+# ----------------------------------------------------------------------
+class TestParameterPlumbing:
+    def test_parallel_workers_validated(self):
+        with pytest.raises(ConfigurationError):
+            ColorReduceParameters(parallel_workers=0)
+        with pytest.raises(ConfigurationError):
+            LowSpaceParameters(parallel_workers=0)
+        with pytest.raises(ConfigurationError):
+            # The constructor validates knobs before touching the families.
+            HashPairSelector(None, None, parallel_workers=0)
+
+    def test_default_is_one_worker(self):
+        assert ColorReduceParameters().parallel_workers == 1
+        assert LowSpaceParameters().parallel_workers == 1
