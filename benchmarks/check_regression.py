@@ -54,10 +54,66 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE_DIR = Path(__file__).resolve().parent / "baselines" / "smoke"
 
 
+class BenchRecordError(Exception):
+    """A BENCH json file that cannot be gated: carries ``path`` and a
+    human-readable ``reason`` so :func:`main` can print one actionable line
+    (file, reason) instead of a traceback."""
+
+    def __init__(self, path: Path, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+#: Keys every gated record must carry: the match key and the gated metric.
+REQUIRED_RECORD_KEYS = ("op", "speedup")
+
+
 def load_records(path: Path):
-    """``op -> record`` for one BENCH json file."""
-    records = json.loads(path.read_text())
-    return {record["op"]: record for record in records}
+    """``op -> record`` for one BENCH json file.
+
+    Raises :class:`BenchRecordError` (file + reason) for anything that
+    cannot be gated: an unreadable or truncated/invalid JSON file, a
+    top-level value that is not a list of record objects, or a record
+    missing ``op``/``speedup`` (or with a non-numeric ``speedup``) — a
+    baseline edited by hand or a benchmark run killed mid-write must fail
+    loudly, not half-gate.
+    """
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise BenchRecordError(path, f"cannot read file ({exc})") from exc
+    try:
+        records = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BenchRecordError(
+            path, f"invalid JSON (truncated or corrupt: {exc})"
+        ) from exc
+    if not isinstance(records, list):
+        raise BenchRecordError(
+            path, f"expected a JSON list of records, got {type(records).__name__}"
+        )
+    by_op = {}
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise BenchRecordError(
+                path, f"record {index} is not an object ({type(record).__name__})"
+            )
+        for key in REQUIRED_RECORD_KEYS:
+            if key not in record:
+                raise BenchRecordError(
+                    path, f"record {index} is missing required key {key!r}"
+                )
+        if not isinstance(record["speedup"], (int, float)) or isinstance(
+            record["speedup"], bool
+        ):
+            raise BenchRecordError(
+                path,
+                f"record {index} ({record['op']!r}) has non-numeric speedup "
+                f"{record['speedup']!r}",
+            )
+        by_op[record["op"]] = record
+    return by_op
 
 
 def compare_file(name: str, baseline: Path, current: Path, tolerance: float):
@@ -169,9 +225,13 @@ def main(argv=None) -> int:
             print(f"  {baseline.name}: MISSING current file at {current}")
             total_regressions += 1
             continue
-        lines, regressions, compared = compare_file(
-            baseline.name, baseline, current, args.tolerance
-        )
+        try:
+            lines, regressions, compared = compare_file(
+                baseline.name, baseline, current, args.tolerance
+            )
+        except BenchRecordError as exc:
+            print(f"error: {exc.path}: {exc.reason}", file=sys.stderr)
+            return 2
         print("\n".join(lines))
         total_regressions += regressions
         total_compared += compared

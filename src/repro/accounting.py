@@ -9,7 +9,7 @@ selection, partitioning, local coloring, palette updates, ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Iterator, Tuple
 
 
@@ -73,3 +73,93 @@ class CostLedger:
     def snapshot(self) -> Dict[str, Tuple[int, int]]:
         """A plain-dict snapshot ``label -> (rounds, message_words)``."""
         return {label: (cost.rounds, cost.message_words) for label, cost in self._phases.items()}
+
+
+@dataclass
+class PoolHealth:
+    """Self-healing telemetry of the parallel scoring pool.
+
+    The worker pool (:mod:`repro.parallel.executor`) survives worker
+    crashes, hangs, dropped and garbled replies by re-enqueueing the
+    affected shards, respawning dead workers in place and — as the last
+    resort — rescoring shards in-process.  None of that changes any value
+    (workers return values, never decisions), so the only run-visible trace
+    of a fault is this record: every recovery action is counted here, the
+    pipelines attach a per-run delta to their results, and the CLI prints
+    it whenever ``parallel_workers > 1``.
+
+    Attributes
+    ----------
+    shard_retries:
+        Shards re-enqueued to another worker after a failed attempt.
+    shard_timeouts:
+        Shard attempts abandoned because no reply arrived within the
+        per-shard timeout (a hung or wedged worker).
+    worker_deaths:
+        Worker processes observed dead (crashed or killed).
+    worker_respawns:
+        Replacement workers spawned in place of dead ones.
+    error_replies:
+        Explicit error replies from workers (evaluator failed to load or
+        to score a shard).
+    integrity_failures:
+        Replies rejected by the integrity checks (job/token echo mismatch,
+        wrong shard length, undecodable values).
+    in_process_rescues:
+        Shards (or whole slabs) rescored in-process by the parent after
+        retries were exhausted or the pool failed outright.
+    breaker_trips:
+        Times the circuit breaker opened after repeated pool-level
+        failures, demoting scoring to the in-process path.
+    breaker_skipped_slabs:
+        Slabs scored in-process while the breaker was open (cool-down).
+    """
+
+    shard_retries: int = 0
+    shard_timeouts: int = 0
+    worker_deaths: int = 0
+    worker_respawns: int = 0
+    error_replies: int = 0
+    integrity_failures: int = 0
+    in_process_rescues: int = 0
+    breaker_trips: int = 0
+    breaker_skipped_slabs: int = 0
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment one counter by ``amount`` (the counter must exist)."""
+        setattr(self, counter, getattr(self, counter) + amount)
+
+    def merge(self, other: "PoolHealth") -> None:
+        """Accumulate another record into this one (counters add up)."""
+        for spec in fields(self):
+            self.bump(spec.name, getattr(other, spec.name))
+
+    def copy(self) -> "PoolHealth":
+        return replace(self)
+
+    def delta(self, baseline: "PoolHealth") -> "PoolHealth":
+        """The events that happened since ``baseline`` was snapshotted."""
+        return PoolHealth(
+            **{
+                spec.name: getattr(self, spec.name) - getattr(baseline, spec.name)
+                for spec in fields(self)
+            }
+        )
+
+    @property
+    def total_events(self) -> int:
+        return sum(getattr(self, spec.name) for spec in fields(self))
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any recovery action fired (a fault-free run is all-zero)."""
+        return self.total_events > 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    def summary(self) -> str:
+        """One-line ``name=value`` rendering (CLI and logs)."""
+        return " ".join(
+            f"{spec.name}={getattr(self, spec.name)}" for spec in fields(self)
+        )

@@ -12,12 +12,14 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
 from repro import ColorReduce, LowSpaceColorReduce
 from repro.analysis.metrics import collect_metrics
 from repro.analysis.reporting import Table
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.workloads import build_workload, list_workloads
 from repro.graph.validation import assert_valid_list_coloring, count_colors_used
@@ -53,6 +55,39 @@ def _build_parser() -> argparse.ArgumentParser:
             "are bit-identical for every value)"
         ),
     )
+    color.add_argument(
+        "--parallel-max-retries",
+        type=int,
+        default=2,
+        help=(
+            "failed attempts tolerated per shard before it is rescored "
+            "in-process (self-healing pool; ignored at --parallel-workers 1)"
+        ),
+    )
+    color.add_argument(
+        "--parallel-shard-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for one shard's reply before retrying it",
+    )
+    color.add_argument(
+        "--parallel-breaker-threshold",
+        type=int,
+        default=3,
+        help=(
+            "consecutive pool-level failures before the circuit breaker "
+            "demotes scoring to the in-process path"
+        ),
+    )
+    color.add_argument(
+        "--parallel-breaker-cooldown",
+        type=int,
+        default=8,
+        help=(
+            "slabs scored in-process while the breaker is open, before a "
+            "probe slab re-tests the pool"
+        ),
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E9)")
     experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
@@ -63,20 +98,54 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_workers(workers: int) -> None:
+    """Reject impossible worker counts up front, warn about dubious ones.
+
+    A non-positive count is a configuration error (caught in :func:`main`
+    and rendered as a one-line ``error:``), matching the parameter sets'
+    own validation instead of surfacing a deep ``SlabExecutor`` failure.
+    More workers than CPUs is legal — the pool still produces bit-identical
+    results — but it only adds scheduling overhead, so it earns a warning
+    on stderr rather than a failure.
+    """
+    if workers < 1:
+        raise ConfigurationError(
+            f"--parallel-workers must be at least 1, got {workers}"
+        )
+    cpus = os.cpu_count()
+    if cpus is not None and workers > cpus:
+        print(
+            f"warning: --parallel-workers {workers} exceeds the "
+            f"{cpus} available CPU(s); results are identical but "
+            "oversubscription adds overhead",
+            file=sys.stderr,
+        )
+
+
+def _parallel_overrides(args: argparse.Namespace) -> dict:
+    """The parameter overrides shared by both pipelines' param sets."""
+    return dict(
+        parallel_workers=args.parallel_workers,
+        parallel_max_retries=args.parallel_max_retries,
+        parallel_shard_timeout=args.parallel_shard_timeout,
+        parallel_breaker_threshold=args.parallel_breaker_threshold,
+        parallel_breaker_cooldown=args.parallel_breaker_cooldown,
+    )
+
+
 def _run_color(args: argparse.Namespace) -> int:
+    _validate_workers(args.parallel_workers)
     graph, palettes, spec = build_workload(args.workload, args.nodes, seed=args.seed)
     print(
         f"workload {spec.name!r} ({spec.problem}): n={graph.num_nodes}, "
         f"m={graph.num_edges}, Delta={graph.max_degree()}"
     )
-    # Invalid worker counts surface as the parameter sets' ConfigurationError
-    # (matching every other knob) rather than being silently clamped.
     workers = args.parallel_workers
     if args.algorithm == "low-space":
         from repro.core.low_space.params import LowSpaceParameters
 
         result = LowSpaceColorReduce(
-            LowSpaceParameters(parallel_workers=workers)
+            LowSpaceParameters(**_parallel_overrides(args))
         ).run(graph, palettes)
         assert_valid_list_coloring(graph, palettes, result.coloring)
         print(
@@ -88,7 +157,7 @@ def _run_color(args: argparse.Namespace) -> int:
         from repro.core.params import ColorReduceParameters
 
         result = ColorReduce(
-            ColorReduceParameters(parallel_workers=workers)
+            ColorReduceParameters(**_parallel_overrides(args))
         ).run(graph, palettes)
         assert_valid_list_coloring(graph, palettes, result.coloring)
         metrics = collect_metrics(graph, result)
@@ -96,6 +165,10 @@ def _run_color(args: argparse.Namespace) -> int:
             f"ColorReduce: rounds={metrics.rounds}, depth={metrics.recursion_depth}, "
             f"bad nodes={metrics.total_bad_nodes}, colors used={metrics.colors_used}"
         )
+    if workers > 1:
+        health = result.pool_health
+        state = "degraded (self-healed)" if health.degraded else "healthy"
+        print(f"pool health: {state}: {health.summary()}")
     return 0
 
 
@@ -127,14 +200,20 @@ def _list_workloads() -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     args = _build_parser().parse_args(argv)
-    if args.command == "color":
-        return _run_color(args)
-    if args.command == "experiment":
-        return _run_experiment(args)
-    if args.command == "list-experiments":
-        return _list_experiments()
-    if args.command == "list-workloads":
-        return _list_workloads()
+    try:
+        if args.command == "color":
+            return _run_color(args)
+        if args.command == "experiment":
+            return _run_experiment(args)
+        if args.command == "list-experiments":
+            return _list_experiments()
+        if args.command == "list-workloads":
+            return _list_workloads()
+    except ReproError as exc:
+        # Library-level misconfiguration is a usage error, not a crash: one
+        # actionable line, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 1  # pragma: no cover - argparse enforces the choices above
 
 

@@ -34,7 +34,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.accounting import CostLedger
+from repro.accounting import CostLedger, PoolHealth
 from repro.congested_clique.model import CongestedCliqueSimulator
 from repro.core.context import CongestedCliqueContext, ExecutionContext
 from repro.core.local_coloring import greedy_list_coloring
@@ -95,6 +95,11 @@ class ColorReduceResult:
     initial_ell: float
     total_bad_nodes: int
     total_invariant_violations: int
+    #: Recovery events of the parallel scoring pool during this run (all
+    #: zero on a fault-free run, and always all-zero for
+    #: ``parallel_workers == 1``).  Faults never change the coloring or the
+    #: tree — this record is their only visible trace.
+    pool_health: PoolHealth = field(default_factory=PoolHealth)
 
     @property
     def max_recursion_depth(self) -> int:
@@ -187,9 +192,19 @@ class ColorReduce:
             global_nodes=global_nodes,
             palettes_are_implicit=palettes_are_implicit,
         )
+        health_baseline = None
+        if self.params.parallel_workers > 1:
+            from repro.parallel.executor import pool_health
+
+            health_baseline = pool_health()
         coloring, ledger, tree = self._color_reduce(
             graph, palettes.copy(), ell, depth=0, state=state
         )
+        run_health = PoolHealth()
+        if health_baseline is not None:
+            from repro.parallel.executor import pool_health
+
+            run_health = pool_health().delta(health_baseline)
         if self.validate:
             assert_valid_list_coloring(graph, palettes, coloring)
         return ColorReduceResult(
@@ -202,6 +217,7 @@ class ColorReduce:
             initial_ell=ell,
             total_bad_nodes=state.total_bad_nodes,
             total_invariant_violations=state.total_invariant_violations,
+            pool_health=run_health,
         )
 
     # ------------------------------------------------------------------

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.accounting import CostLedger
+from repro.accounting import CostLedger, PoolHealth
 from repro.core.low_space.mis_reduction import color_via_mis
 from repro.core.low_space.params import LowSpaceParameters
 from repro.core.low_space.partition import LowSpacePartition
@@ -87,6 +87,9 @@ class LowSpaceResult:
     epsilon: float
     total_mis_phases: int
     simulator: Optional[MPCSimulator] = None
+    #: Recovery events of the parallel scoring pool during this run (see
+    #: :attr:`repro.core.color_reduce.ColorReduceResult.pool_health`).
+    pool_health: PoolHealth = field(default_factory=PoolHealth)
 
     @property
     def max_recursion_depth(self) -> int:
@@ -147,7 +150,17 @@ class LowSpaceColorReduce:
         state = _LowSpaceState(
             simulator=simulator, global_nodes=max(graph.num_nodes, 1)
         )
+        health_baseline = None
+        if self.params.parallel_workers > 1:
+            from repro.parallel.executor import pool_health
+
+            health_baseline = pool_health()
         coloring, ledger, tree = self._color_reduce(graph, palettes.copy(), depth=0, state=state)
+        run_health = PoolHealth()
+        if health_baseline is not None:
+            from repro.parallel.executor import pool_health
+
+            run_health = pool_health().delta(health_baseline)
         if self.validate:
             assert_valid_list_coloring(graph, palettes, coloring)
         return LowSpaceResult(
@@ -158,6 +171,7 @@ class LowSpaceColorReduce:
             epsilon=self.params.epsilon,
             total_mis_phases=tree.total_mis_phases(),
             simulator=simulator,
+            pool_health=run_health,
         )
 
     # ------------------------------------------------------------------

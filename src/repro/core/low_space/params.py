@@ -43,6 +43,16 @@ class LowSpaceParameters:
     #: and ``1`` (default) is the zero-overhead in-process path — see
     #: :attr:`repro.core.params.ColorReduceParameters.parallel_workers`.
     parallel_workers: int = 1
+    #: Self-healing knobs of the worker pool (failed shard attempts before
+    #: an in-process rescue, per-shard reply timeout, circuit-breaker
+    #: threshold and cool-down), forwarded as a
+    #: :class:`repro.parallel.executor.RecoveryPolicy` — see
+    #: :attr:`repro.core.params.ColorReduceParameters.parallel_max_retries`
+    #: and friends.  Ignored when ``parallel_workers == 1``.
+    parallel_max_retries: int = 2
+    parallel_shard_timeout: float = 30.0
+    parallel_breaker_threshold: int = 3
+    parallel_breaker_cooldown: int = 8
     #: Route the graph-layer batch kernels: CSR-backed bin-instance
     #: extraction, the selected pair's batched node-level classification
     #: (:func:`repro.core.low_space.machine_sets.node_level_outcome_batch`),
@@ -71,6 +81,28 @@ class LowSpaceParameters:
             raise ConfigurationError("machine_chunk_override must be positive")
         if self.parallel_workers < 1:
             raise ConfigurationError("parallel_workers must be at least 1")
+        if self.parallel_max_retries < 0:
+            raise ConfigurationError("parallel_max_retries must be >= 0")
+        if self.parallel_shard_timeout <= 0:
+            raise ConfigurationError("parallel_shard_timeout must be positive")
+        if self.parallel_breaker_threshold < 1:
+            raise ConfigurationError("parallel_breaker_threshold must be >= 1")
+        if self.parallel_breaker_cooldown < 1:
+            raise ConfigurationError("parallel_breaker_cooldown must be >= 1")
+
+    def parallel_recovery_policy(self):
+        """The pool's :class:`repro.parallel.executor.RecoveryPolicy`, or
+        ``None`` when ``parallel_workers == 1``."""
+        if self.parallel_workers < 2:
+            return None
+        from repro.parallel.executor import RecoveryPolicy
+
+        return RecoveryPolicy(
+            max_shard_retries=self.parallel_max_retries,
+            shard_timeout=self.parallel_shard_timeout,
+            breaker_threshold=self.parallel_breaker_threshold,
+            breaker_cooldown=self.parallel_breaker_cooldown,
+        )
 
     # ------------------------------------------------------------------
     @classmethod

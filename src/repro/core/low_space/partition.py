@@ -149,6 +149,7 @@ class LowSpacePartition:
             rng_seed=salt,
             use_batch=self.params.selection_use_batch,
             parallel_workers=self.params.parallel_workers,
+            parallel_recovery=self.params.parallel_recovery_policy(),
         )
         wrapped_charge = None
         if charge is not None:

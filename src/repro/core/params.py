@@ -82,6 +82,17 @@ class ColorReduceParameters:
         Partition level), and reduced positionally — selected seeds,
         recursion trees and colorings are bit-identical for every value.
         ``1`` (default) is the zero-overhead in-process path.
+    parallel_max_retries / parallel_shard_timeout / parallel_breaker_threshold
+    / parallel_breaker_cooldown:
+        Self-healing knobs of the worker pool, forwarded as a
+        :class:`repro.parallel.executor.RecoveryPolicy` (see
+        :meth:`parallel_recovery_policy`): failed shard attempts tolerated
+        before an in-process rescue, seconds to wait for one shard's reply,
+        and the circuit breaker's consecutive-failure threshold and
+        cool-down (slabs scored in-process before the pool is re-probed).
+        All recovery is value-preserving — faults never change an outcome,
+        only the :class:`repro.accounting.PoolHealth` record.  Ignored when
+        ``parallel_workers == 1``.
     graph_use_batch:
         Route the graph-layer batch kernels: bin instances (and
         capacity-split pieces) materialise through the CSR-backed
@@ -130,6 +141,10 @@ class ColorReduceParameters:
     selection_rng_seed: int = 0
     selection_use_batch: bool = True
     parallel_workers: int = 1
+    parallel_max_retries: int = 2
+    parallel_shard_timeout: float = 30.0
+    parallel_breaker_threshold: int = 3
+    parallel_breaker_cooldown: int = 8
     graph_use_batch: bool = True
     enforce_palette_surplus: bool = True
 
@@ -148,6 +163,14 @@ class ColorReduceParameters:
             raise ConfigurationError("min_ell must be at least 1")
         if self.parallel_workers < 1:
             raise ConfigurationError("parallel_workers must be at least 1")
+        if self.parallel_max_retries < 0:
+            raise ConfigurationError("parallel_max_retries must be >= 0")
+        if self.parallel_shard_timeout <= 0:
+            raise ConfigurationError("parallel_shard_timeout must be positive")
+        if self.parallel_breaker_threshold < 1:
+            raise ConfigurationError("parallel_breaker_threshold must be >= 1")
+        if self.parallel_breaker_cooldown < 1:
+            raise ConfigurationError("parallel_breaker_cooldown must be >= 1")
 
     # ------------------------------------------------------------------
     # alternate constructors
@@ -189,6 +212,21 @@ class ColorReduceParameters:
     def with_strategy(self, strategy: SelectionStrategy) -> "ColorReduceParameters":
         """A copy using a different hash-selection strategy."""
         return replace(self, selection_strategy=strategy)
+
+    def parallel_recovery_policy(self):
+        """The pool's :class:`repro.parallel.executor.RecoveryPolicy`, or
+        ``None`` when ``parallel_workers == 1`` (the in-process path never
+        imports the parallel package)."""
+        if self.parallel_workers < 2:
+            return None
+        from repro.parallel.executor import RecoveryPolicy
+
+        return RecoveryPolicy(
+            max_shard_retries=self.parallel_max_retries,
+            shard_timeout=self.parallel_shard_timeout,
+            breaker_threshold=self.parallel_breaker_threshold,
+            breaker_cooldown=self.parallel_breaker_cooldown,
+        )
 
     @property
     def is_scaled(self) -> bool:

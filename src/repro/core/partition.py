@@ -149,6 +149,7 @@ class Partition:
             candidate_salt=salt,
             use_batch=self.params.selection_use_batch,
             parallel_workers=self.params.parallel_workers,
+            parallel_recovery=self.params.parallel_recovery_policy(),
         )
         charge = context.selection_charge_callback("hash-selection") if context else None
         target = self.params.cost_target(ell, global_nodes)

@@ -164,6 +164,11 @@ class HashPairSelector:
         in-process with zero parallel overhead; values above 1 require the
         cost to be a shippable batched evaluator, else scoring stays
         in-process.  Outcomes are identical for every value.
+    parallel_recovery:
+        Optional :class:`repro.parallel.executor.RecoveryPolicy` tuning the
+        pool's self-healing (shard retries, per-shard timeout, circuit
+        breaker); ``None`` keeps the pool's current policy.  Irrelevant
+        when ``parallel_workers == 1``.
     """
 
     def __init__(
@@ -181,6 +186,7 @@ class HashPairSelector:
         candidate_salt: int = 0,
         use_batch: bool = True,
         parallel_workers: int = 1,
+        parallel_recovery=None,
     ) -> None:
         if chunk_bits < 1:
             raise ConfigurationError("chunk_bits must be positive")
@@ -204,6 +210,7 @@ class HashPairSelector:
         self.candidate_salt = candidate_salt
         self.use_batch = use_batch
         self.parallel_workers = parallel_workers
+        self.parallel_recovery = parallel_recovery
 
     # ------------------------------------------------------------------
     # public API
@@ -422,7 +429,9 @@ class HashPairSelector:
         if self.parallel_workers > 1:
             from repro.parallel.executor import parallel_many_scorer
 
-            scorer = parallel_many_scorer(cost, self.parallel_workers)
+            scorer = parallel_many_scorer(
+                cost, self.parallel_workers, policy=self.parallel_recovery
+            )
             if scorer is not None:
                 # Sharded scoring returns the exact `many` value vector, so
                 # the positional scans below are untouched by worker count.

@@ -64,6 +64,23 @@ class HashFamilyError(ReproError):
 
 
 class ParallelExecutionError(ReproError):
-    """Raised when the multiprocess slab-scoring pool fails (a worker died,
-    an evaluator could not cross the process boundary, or results timed
-    out).  Never raised on the default in-process path."""
+    """Raised when the multiprocess slab-scoring pool fails *unrecoverably*
+    (the pool is closed, or a replacement worker could not even be
+    spawned).  Ordinary worker failures — crashes, hangs, garbled replies —
+    are recovered in place (retry, respawn, in-process rescue; see
+    :class:`repro.accounting.PoolHealth`) and never raise.  Never raised on
+    the default in-process path."""
+
+
+class WorkerCrashError(ParallelExecutionError):
+    """Raised when a dead worker could not be replaced (the respawn itself
+    failed).  A plain worker crash is self-healed — its shards are retried
+    on surviving workers and a replacement is spawned in place — so this
+    surfaces only when the host refuses to start new processes."""
+
+
+class ShardIntegrityError(ParallelExecutionError):
+    """Raised (and caught internally) when a worker reply fails the
+    integrity checks: job/token echo mismatch, wrong shard length, or a
+    cost vector that cannot be decoded as floats.  The affected shard is
+    re-scored rather than silently corrupting the assembled cost vector."""

@@ -9,8 +9,11 @@ processes while keeping every outcome bit-identical to the in-process path:
 * :mod:`repro.parallel.planner` — deterministic contiguous shard plans,
 * :mod:`repro.parallel.slabs` — what crosses the process boundary (compact
   pair payloads per slab; the evaluator envelope once per level),
-* :mod:`repro.parallel.executor` — the long-lived worker pool and the
-  ``pairs -> values`` scorer the selection strategies call.
+* :mod:`repro.parallel.executor` — the long-lived self-healing worker pool
+  (shard retry, in-place respawn, in-process rescue, circuit breaker) and
+  the ``pairs -> values`` scorer the selection strategies call,
+* :mod:`repro.parallel.faults` — deterministic fault injection so every
+  recovery path is exercised reproducibly in tests and CI.
 
 Entry point for users: the ``parallel_workers`` knob on
 :class:`repro.core.params.ColorReduceParameters` /
@@ -21,11 +24,23 @@ Entry point for users: the ``parallel_workers`` knob on
 """
 
 from repro.parallel.executor import (
+    CircuitBreaker,
     ParallelSlabScorer,
+    RecoveryPolicy,
     SlabExecutor,
     get_executor,
     parallel_many_scorer,
+    pool_health,
+    reset_pool_health,
     shutdown_executors,
+)
+from repro.parallel.faults import (
+    EVERY_TASK,
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    plan_from_env,
 )
 from repro.parallel.planner import plan_shards, shard_slices
 from repro.parallel.slabs import (
@@ -36,7 +51,14 @@ from repro.parallel.slabs import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "EVERY_TASK",
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
     "ParallelSlabScorer",
+    "RecoveryPolicy",
     "SlabExecutor",
     "decode_evaluator",
     "decode_slab",
@@ -44,7 +66,10 @@ __all__ = [
     "encode_slab",
     "get_executor",
     "parallel_many_scorer",
+    "plan_from_env",
     "plan_shards",
+    "pool_health",
+    "reset_pool_health",
     "shard_slices",
     "shutdown_executors",
 ]

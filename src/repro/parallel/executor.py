@@ -1,4 +1,4 @@
-"""Worker-process pool for parallel candidate-slab scoring.
+"""Self-healing worker-process pool for parallel candidate-slab scoring.
 
 :class:`SlabExecutor` owns ``W`` long-lived worker processes (the in-repo
 analogue of the paper's MPC machines evaluating conditional expectations for
@@ -11,8 +11,10 @@ candidate seed chunks in parallel).  The protocol is deliberately tiny:
   prepares them once on its first slab and reuses them for every later slab
   of the level.
 * ``("score", token, job, shard, payload)`` — one shard of a candidate slab
-  (:func:`repro.parallel.slabs.encode_slab`); the worker answers with the
-  shard's cost vector, computed by the evaluator's ordinary ``many`` kernel.
+  (:func:`repro.parallel.slabs.encode_slab`); the worker answers
+  ``("ok", job, shard, token, values)`` with the shard's cost vector,
+  computed by the evaluator's ordinary ``many`` kernel, or
+  ``("error", job, shard, token, message)``.
 
 Determinism rule
 ----------------
@@ -24,10 +26,40 @@ argmin / first-feasible reduction picks the same pair for every worker
 count.  The evaluator must not be mutated while slabs are in flight (no
 in-repo caller does: selection completes before the instance graph changes).
 
-Pools are cached per worker count (:func:`get_executor`) and torn down at
-interpreter exit; a pool whose workers died is replaced transparently on the
-next lookup.  ``workers=1`` never reaches this module — the selector keeps
-its zero-overhead in-process path.
+Failure semantics
+-----------------
+The paper's model assumes machines that always answer; real processes do
+not.  Because workers only ever return values, every lost shard is exactly
+recomputable, so the pool recovers from **any** worker failure without
+changing a single output bit:
+
+* a reply failing the integrity checks (job/token echo, shard length,
+  float-decodable values) or carrying an explicit error is discarded and
+  the shard is retried;
+* a shard with no reply within ``RecoveryPolicy.shard_timeout`` seconds is
+  re-enqueued to the next worker (the slow reply, if it ever arrives, is
+  absorbed if first or dropped as stale);
+* a dead worker is respawned *in place* — the replacement inherits the
+  evaluator-envelope window so later slabs need no re-ship — and its
+  in-flight shards are re-routed to survivors;
+* after ``RecoveryPolicy.max_shard_retries`` failed attempts a shard is
+  rescored in-process via the evaluator's own ``many`` (always available:
+  the parent holds the original evaluator), which is the bit-identical
+  last resort;
+* :class:`ParallelSlabScorer` carries a circuit breaker: repeated
+  pool-level failures demote whole slabs to the in-process path for a
+  cool-down, then a single probe slab re-engages the pool.
+
+Every recovery action is counted in a :class:`repro.accounting.PoolHealth`
+record (per pool and process-wide); :class:`ParallelExecutionError` remains
+only for the truly unrecoverable cases — a closed pool, or a respawn the
+host refuses (:class:`repro.errors.WorkerCrashError`).  Fault injection for
+tests and CI lives in :mod:`repro.parallel.faults`.
+
+Pools are cached per worker count (:func:`get_executor`); dead workers are
+respawned on lookup and pools are torn down at interpreter exit.
+``workers=1`` never reaches this module — the selector keeps its
+zero-overhead in-process path.
 """
 
 from __future__ import annotations
@@ -36,10 +68,20 @@ import atexit
 import itertools
 import multiprocessing
 import os
-from typing import Dict, List, Optional, Sequence
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.accounting import PoolHealth
+from repro.errors import (
+    ConfigurationError,
+    ParallelExecutionError,
+    ShardIntegrityError,
+    WorkerCrashError,
+)
 from repro.parallel import slabs
+from repro.parallel.faults import FaultInjector, FaultPlan, plan_from_env
 from repro.parallel.planner import plan_shards
 
 #: Evaluators cached per worker before FIFO eviction; recursion produces one
@@ -54,16 +96,87 @@ WORKER_CACHE_SIZE = 4
 #: returns the exact ``many`` values, so this is a pure perf threshold.
 MIN_PARALLEL_PAIRS = 32
 
-#: Seconds to wait for a shard result before declaring the pool wedged.
-DEFAULT_RESULT_TIMEOUT = 600.0
+#: Environment variable forcing the multiprocessing start method (the chaos
+#: CI job runs the fault suite under both ``fork`` and ``spawn``).
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
 
 _TOKEN_COUNTER = itertools.count(1)
 _TOKEN_ATTR = "_parallel_token"
 
+#: Process-wide cumulative health record (every executor and scorer also
+#: bumps its own); pipelines snapshot/delta this around a run.
+_HEALTH = PoolHealth()
+
+
+def pool_health() -> PoolHealth:
+    """A copy of the process-wide cumulative :class:`PoolHealth` record."""
+    return _HEALTH.copy()
+
+
+def reset_pool_health() -> None:
+    """Zero the process-wide health record (tests)."""
+    for counter in _HEALTH.as_dict():
+        setattr(_HEALTH, counter, 0)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the executor's self-healing behaviour.
+
+    Attributes
+    ----------
+    max_shard_retries:
+        Failed attempts tolerated per shard before the parent rescores the
+        shard in-process (0 = rescue on the first failure).
+    shard_timeout:
+        Seconds to wait for one shard's reply before abandoning the
+        attempt (a hung worker's reply is later dropped as stale).
+    retry_backoff:
+        Base seconds slept before a retry (scaled by the attempt number,
+        capped at 1s); damps retry storms against a struggling host.
+    breaker_threshold:
+        Consecutive pool-level failures (slabs needing in-process rescue)
+        before the circuit breaker opens.
+    breaker_cooldown:
+        Slabs scored in-process while the breaker is open, after which a
+        single probe slab re-tests the pool.
+    """
+
+    max_shard_retries: int = 2
+    shard_timeout: float = 30.0
+    retry_backoff: float = 0.05
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_shard_retries < 0:
+            raise ConfigurationError("max_shard_retries must be >= 0")
+        if self.shard_timeout <= 0:
+            raise ConfigurationError("shard_timeout must be positive")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown < 1:
+            raise ConfigurationError("breaker_cooldown must be >= 1")
+
 
 def _preferred_start_method() -> str:
-    """``fork`` where available (cheap, inherits imports), else ``spawn``."""
+    """``fork`` where available (cheap, inherits imports), else ``spawn``.
+
+    ``REPRO_PARALLEL_START_METHOD`` overrides (the chaos CI job exercises
+    both); an unavailable override is a configuration error, not a silent
+    fallback.
+    """
     methods = multiprocessing.get_all_start_methods()
+    override = os.environ.get(START_METHOD_ENV, "").strip()
+    if override:
+        if override not in methods:
+            raise ConfigurationError(
+                f"{START_METHOD_ENV}={override!r} is not available on this "
+                f"platform (have {methods})"
+            )
+        return override
     return "fork" if "fork" in methods else "spawn"
 
 
@@ -74,10 +187,18 @@ class _LoadFailure:
         self.message = message
 
 
-def _worker_main(task_queue, result_queue) -> None:
-    """Worker loop: cache evaluators by token, score shards via ``many``."""
+def _worker_main(
+    worker_index: int, task_queue, result_queue, fault_plan: Optional[FaultPlan]
+) -> None:
+    """Worker loop: cache evaluators by token, score shards via ``many``.
+
+    ``fault_plan`` is the deterministic chaos hook (tests/CI only, ``None``
+    in production and for respawned replacements); see
+    :mod:`repro.parallel.faults` for the taxonomy applied below.
+    """
     from collections import OrderedDict
 
+    injector = FaultInjector(fault_plan, worker_index)
     cache: "OrderedDict[int, object]" = OrderedDict()
     while True:
         task = task_queue.get()
@@ -99,6 +220,20 @@ def _worker_main(task_queue, result_queue) -> None:
                 cache.popitem(last=False)
             continue
         _, token, job, shard, payload = task
+        fault = injector.next_fault()
+        if fault is not None:
+            if fault.kind == "crash":
+                os._exit(17)
+            if fault.kind == "drop":
+                continue
+            if fault.kind == "error":
+                result_queue.put(
+                    ("error", job, shard, token, "injected worker fault")
+                )
+                continue
+            if fault.kind == "delay":
+                time.sleep(fault.seconds)
+            # "garble" is applied to the computed values below.
         try:
             evaluator = cache.get(token)
             if evaluator is None:
@@ -108,131 +243,336 @@ def _worker_main(task_queue, result_queue) -> None:
             if isinstance(evaluator, _LoadFailure):
                 raise ParallelExecutionError(evaluator.message)
             pairs = slabs.decode_slab(payload)
-            values = evaluator.many(pairs)
-            result_queue.put(("ok", job, shard, [float(v) for v in values]))
+            values = [float(v) for v in evaluator.many(pairs)]
+            if fault is not None and fault.kind == "garble":
+                values = values[:-1]
+            result_queue.put(("ok", job, shard, token, values))
         except BaseException as exc:  # noqa: BLE001 - surfaced in the parent
-            result_queue.put(("error", job, shard, repr(exc)))
+            result_queue.put(("error", job, shard, token, repr(exc)))
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over pool-level slab outcomes.
+
+    Closed: slabs go to the pool; each slab that needed an in-process
+    rescue (or failed outright) counts one failure, a clean slab resets
+    the count.  After ``breaker_threshold`` consecutive failures the
+    breaker opens: the next ``breaker_cooldown`` slabs are scored
+    in-process outright (the pool gets a breather), then a single probe
+    slab re-tests the pool — one more failure re-opens immediately, a
+    success closes the breaker.  Either path returns the exact ``many``
+    values, so the breaker changes *where* scoring happens, never *what*
+    is scored.
+    """
+
+    def __init__(self, executor: "SlabExecutor") -> None:
+        self._executor = executor
+        self._failures = 0
+        self._skip_remaining = 0
+
+    @property
+    def tripped(self) -> bool:
+        """Whether the breaker is currently open (slabs bypass the pool)."""
+        return self._skip_remaining > 0
+
+    def allow(self) -> bool:
+        """Whether the next slab may use the pool (consumes one cool-down
+        step when open)."""
+        if self._skip_remaining > 0:
+            self._skip_remaining -= 1
+            if self._skip_remaining == 0:
+                # The next slab is the re-probe: one more failure re-trips
+                # immediately instead of re-accumulating a full threshold.
+                self._failures = self._executor.policy.breaker_threshold - 1
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._failures >= self._executor.policy.breaker_threshold:
+            self._failures = 0
+            self._skip_remaining = self._executor.policy.breaker_cooldown
+            self._executor._health_bump("breaker_trips")
 
 
 class SlabExecutor:
-    """A pool of worker processes scoring candidate-slab shards."""
+    """A self-healing pool of worker processes scoring candidate-slab shards."""
 
     def __init__(
         self,
         num_workers: int,
         start_method: Optional[str] = None,
-        result_timeout: float = DEFAULT_RESULT_TIMEOUT,
+        policy: Optional[RecoveryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if num_workers < 2:
             raise ConfigurationError(
                 "SlabExecutor needs at least 2 workers; workers=1 stays in-process"
             )
         self.num_workers = num_workers
-        self.result_timeout = result_timeout
+        self.policy = policy if policy is not None else RecoveryPolicy()
+        self.health = PoolHealth()
+        self.breaker = CircuitBreaker(self)
+        if fault_plan is None:
+            fault_plan = plan_from_env()
+        self._fault_plan_json = fault_plan.to_json() if fault_plan else None
         from collections import OrderedDict
 
-        context = multiprocessing.get_context(start_method or _preferred_start_method())
-        self._result_queue = context.Queue()
-        self._task_queues = []
-        self._processes = []
-        # Mirror of every worker's evaluator cache, in ship (FIFO) order;
-        # evicting here exactly when the workers evict keeps "is it still
-        # loaded over there?" answerable without a round trip.
-        self._loaded_tokens: "OrderedDict[int, None]" = OrderedDict()
+        self._context = multiprocessing.get_context(
+            start_method or _preferred_start_method()
+        )
+        self._result_queue = self._context.Queue()
+        self._task_queues: List = []
+        self._processes: List = []
+        # Mirror of every worker's evaluator cache — token -> envelope, in
+        # ship (FIFO) order.  Evicting here exactly when the workers evict
+        # keeps "is it still loaded over there?" answerable without a round
+        # trip, and keeping the envelopes lets a respawned replacement
+        # worker be brought up to date without re-pickling anything.
+        self._loaded_tokens: "OrderedDict[int, bytes]" = OrderedDict()
         self._jobs = itertools.count(1)
         self._closed = False
-        for _ in range(num_workers):
-            task_queue = context.Queue()
-            process = context.Process(
-                target=_worker_main,
-                args=(task_queue, self._result_queue),
-                daemon=True,
-            )
-            process.start()
+        for index in range(num_workers):
+            task_queue, process = self._spawn_one(index, fault_plan)
             self._task_queues.append(task_queue)
             self._processes.append(process)
 
     # ------------------------------------------------------------------
+    # health plumbing
+    # ------------------------------------------------------------------
+    def _health_bump(self, counter: str, amount: int = 1) -> None:
+        """Count one recovery event, per-pool and process-wide."""
+        self.health.bump(counter, amount)
+        _HEALTH.bump(counter, amount)
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_one(self, index: int, fault_plan: Optional[FaultPlan]):
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(index, task_queue, self._result_queue, fault_plan),
+            daemon=True,
+        )
+        process.start()
+        return task_queue, process
+
+    def _respawn_worker(self, index: int) -> None:
+        """Replace a dead worker in place and replay the evaluator window.
+
+        Replacements never carry a fault plan (each injected fault fires at
+        most once), so recovery always converges in the chaos tests.
+        """
+        self._close_queue(self._task_queues[index])
+        try:
+            task_queue, process = self._spawn_one(index, fault_plan=None)
+        except BaseException as exc:  # pragma: no cover - host refused a spawn
+            self.close()
+            raise WorkerCrashError(
+                f"worker {index} died and could not be respawned: {exc!r}"
+            ) from exc
+        self._task_queues[index] = task_queue
+        self._processes[index] = process
+        for token, envelope in self._loaded_tokens.items():
+            task_queue.put(("load", token, envelope))
+        self._health_bump("worker_respawns")
+
+    def _reap_dead_workers(self, pending: Dict[int, Tuple[int, float]]) -> List[int]:
+        """Respawn dead workers in place; return their pending shard indexes."""
+        affected: List[int] = []
+        for index, process in enumerate(self._processes):
+            if process.is_alive():
+                continue
+            process.join(timeout=1.0)
+            self._health_bump("worker_deaths")
+            self._respawn_worker(index)
+            affected.extend(
+                shard for shard, (worker, _) in pending.items() if worker == index
+            )
+        return affected
+
+    def ensure_workers(self) -> None:
+        """Respawn any workers that died while the pool was idle."""
+        if self._closed:
+            raise ParallelExecutionError("executor is closed")
+        self._reap_dead_workers({})
+
     @property
     def alive(self) -> bool:
-        """Whether the pool is usable (open, all workers running)."""
+        """Whether the pool is usable as-is (open, all workers running).
+
+        A pool with dead workers is *not* unusable — :meth:`score_slab`
+        and :meth:`ensure_workers` heal it in place — but callers holding
+        no registry entry may use this to decide on a rebuild.
+        """
         return not self._closed and all(p.is_alive() for p in self._processes)
 
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
     def score_slab(self, evaluator, pairs: Sequence) -> List[float]:
-        """Score one candidate slab across the pool.
+        """Score one candidate slab across the pool, surviving any worker
+        failure.
 
         Ships the evaluator on first sight (broadcast to every worker),
         splits the slab with the deterministic planner, and reassembles the
         per-shard cost vectors in shard order — the result equals
-        ``evaluator.many(pairs)`` exactly.
+        ``evaluator.many(pairs)`` exactly, whether a shard was answered on
+        the first attempt, retried on another worker, or rescued
+        in-process.  Raises only if the pool is closed.
         """
         pairs = list(pairs)
         if not pairs:
             return []
         if self._closed:
             raise ParallelExecutionError("executor is closed")
+        token = self._ensure_loaded(evaluator)
+        shards = plan_shards(len(pairs), self.num_workers)
+        job = next(self._jobs)
+        policy = self.policy
+        collected: Dict[int, List[float]] = {}
+        attempts = [0] * len(shards)
+        #: shard -> (worker index it was sent to, reply deadline)
+        pending: Dict[int, Tuple[int, float]] = {}
+
+        def rescue(shard_index: int) -> None:
+            start, stop = shards[shard_index]
+            collected[shard_index] = [
+                float(v) for v in evaluator.many(pairs[start:stop])
+            ]
+            self._health_bump("in_process_rescues")
+
+        def dispatch(shard_index: int, worker_index: int) -> None:
+            start, stop = shards[shard_index]
+            payload = slabs.encode_slab(pairs[start:stop])
+            self._task_queues[worker_index].put(
+                ("score", token, job, shard_index, payload)
+            )
+            pending[shard_index] = (
+                worker_index,
+                time.monotonic() + policy.shard_timeout,
+            )
+
+        def fail_attempt(shard_index: int) -> None:
+            worker_index, _ = pending.pop(shard_index)
+            attempts[shard_index] += 1
+            if attempts[shard_index] > policy.max_shard_retries:
+                rescue(shard_index)
+                return
+            if policy.retry_backoff:
+                time.sleep(min(policy.retry_backoff * attempts[shard_index], 1.0))
+            self._health_bump("shard_retries")
+            # Deterministic re-route: the next worker in ring order (the
+            # failed one may be dead, wedged, or merely slow; values are
+            # placement-independent, so any worker is equally correct).
+            dispatch(shard_index, (worker_index + 1) % self.num_workers)
+
+        for shard_index in range(len(shards)):
+            # At most num_workers shards, so the initial assignment is one
+            # shard per worker — and deterministic, like the plan itself.
+            dispatch(shard_index, shard_index % self.num_workers)
+
+        poll = max(0.01, min(0.2, policy.shard_timeout / 4.0))
+        while len(collected) < len(shards):
+            # Dead workers first: respawn in place, re-route their shards.
+            for shard_index in self._reap_dead_workers(pending):
+                fail_attempt(shard_index)
+            # Absorb one reply; short poll so deaths and deadline expiries
+            # are noticed promptly instead of stalling on a silent queue.
+            try:
+                reply = self._result_queue.get(timeout=poll)
+            except queue_module.Empty:
+                reply = None
+            if reply is not None:
+                shard_index, values, failure = self._parse_reply(
+                    reply, job, token, shards, pending
+                )
+                if shard_index is not None:
+                    if failure is None:
+                        collected[shard_index] = values
+                        pending.pop(shard_index, None)
+                    else:
+                        self._health_bump(failure)
+                        fail_attempt(shard_index)
+            # Per-shard deadlines: a hung/dropped reply only costs one
+            # timeout window, not the whole run.
+            now = time.monotonic()
+            for shard_index in [
+                shard
+                for shard, (_, deadline) in pending.items()
+                if now > deadline
+            ]:
+                self._health_bump("shard_timeouts")
+                fail_attempt(shard_index)
+
+        values_out: List[float] = []
+        for shard_index in range(len(shards)):
+            values_out.extend(collected[shard_index])
+        return values_out
+
+    def _ensure_loaded(self, evaluator) -> int:
         token = self._token_of(evaluator)
         if token not in self._loaded_tokens:
             envelope = slabs.encode_evaluator(evaluator)
             for task_queue in self._task_queues:
                 task_queue.put(("load", token, envelope))
-            self._loaded_tokens[token] = None
+            self._loaded_tokens[token] = envelope
             while len(self._loaded_tokens) > WORKER_CACHE_SIZE:
                 # The workers evict the same oldest-shipped token on this
                 # load; a later slab for it will simply re-ship.
                 self._loaded_tokens.popitem(last=False)
-        shards = plan_shards(len(pairs), self.num_workers)
-        job = next(self._jobs)
-        for shard_index, (start, stop) in enumerate(shards):
-            payload = slabs.encode_slab(pairs[start:stop])
-            # At most num_workers shards, so this assignment is one shard
-            # per worker — and deterministic, like the plan itself.
-            self._task_queues[shard_index % self.num_workers].put(
-                ("score", token, job, shard_index, payload)
-            )
-        import queue as queue_module
-        import time
+        return token
 
-        deadline = time.monotonic() + self.result_timeout
-        collected: Dict[int, List[float]] = {}
-        while len(collected) < len(shards):
-            # Short poll intervals so a dead worker is noticed promptly
-            # instead of stalling until the full result timeout.
-            try:
-                kind, reply_job, shard_index, data = self._result_queue.get(
-                    timeout=1.0
-                )
-            except queue_module.Empty:
-                dead = [p.pid for p in self._processes if not p.is_alive()]
-                if dead:
-                    self.close()
-                    raise ParallelExecutionError(
-                        f"worker process(es) {dead} died while scoring; "
-                        "worker pool shut down"
-                    )
-                if time.monotonic() > deadline:
-                    self.close()
-                    raise ParallelExecutionError(
-                        f"timed out after {self.result_timeout}s waiting for "
-                        "shard results; worker pool shut down"
-                    )
-                continue
-            if reply_job != job:
-                # Stale reply from a job that failed part-way; drop it.
-                continue
-            if kind == "error":
-                self.close()
-                raise ParallelExecutionError(
-                    f"worker failed while scoring shard {shard_index}: {data}"
-                )
-            collected[shard_index] = data
-        values: List[float] = []
-        for shard_index in range(len(shards)):
-            values.extend(collected[shard_index])
-        return values
+    def _parse_reply(self, reply, job, token, shards, pending):
+        """Validate one reply; returns ``(shard, values, failure_counter)``.
 
+        ``(None, None, None)`` means the reply was stale (an older job, or
+        a shard already resolved by a faster attempt) and carried no
+        information.  A live shard's reply either passes the integrity
+        checks (job match established, token echo, exact shard length,
+        float-decodable values) and returns its vector, or comes back with
+        the :class:`PoolHealth` counter to charge before retrying.
+        """
+        try:
+            kind, reply_job, shard_index, reply_token, data = reply
+        except (TypeError, ValueError):
+            # Unintelligible envelope (wrong arity) with no shard to pin it
+            # on; count it so garbage never passes silently.
+            self._health_bump("integrity_failures")
+            return None, None, None
+        if reply_job != job or shard_index not in pending:
+            # Stale: a prior job's shard, or a slow duplicate of a shard
+            # that a retry (or rescue) already resolved.  Values are
+            # deterministic, so dropping the duplicate loses nothing.
+            return None, None, None
+        if kind == "error":
+            return shard_index, None, "error_replies"
+        start, stop = shards[shard_index]
+        try:
+            if reply_token != token:
+                raise ShardIntegrityError(
+                    f"token echo mismatch on shard {shard_index}: "
+                    f"{reply_token!r} != {token!r}"
+                )
+            values = [float(v) for v in data]
+            if len(values) != stop - start:
+                raise ShardIntegrityError(
+                    f"shard {shard_index} replied {len(values)} values "
+                    f"for {stop - start} pairs"
+                )
+        except (ShardIntegrityError, TypeError, ValueError):
+            return shard_index, None, "integrity_failures"
+        return shard_index, values, None
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the workers; safe to call more than once."""
+        """Stop the workers and release the queues; safe to call twice."""
         if self._closed:
             return
         self._closed = True
@@ -246,6 +586,26 @@ class SlabExecutor:
             if process.is_alive():  # pragma: no cover - wedged worker
                 process.terminate()
                 process.join(timeout=5.0)
+        # Release the queue resources (feeder threads and pipe fds) so
+        # repeated pool respawns cannot accumulate open descriptors.
+        for task_queue in self._task_queues:
+            self._close_queue(task_queue)
+        self._close_queue(self._result_queue)
+
+    @staticmethod
+    def _close_queue(q) -> None:
+        """Close one multiprocessing queue without risking a hang.
+
+        ``close()`` stops the feeder and closes the write pipe;
+        ``cancel_join_thread()`` guarantees interpreter exit never blocks
+        on unflushed buffers (replies nobody will read); the remaining
+        reader fd is released when the queue object is dropped.
+        """
+        try:
+            q.cancel_join_thread()
+            q.close()
+        except Exception:  # pragma: no cover - queue already broken
+            pass
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -264,18 +624,34 @@ class SlabExecutor:
 _EXECUTORS: Dict[int, SlabExecutor] = {}
 
 
-def get_executor(num_workers: int) -> SlabExecutor:
+def get_executor(
+    num_workers: int, policy: Optional[RecoveryPolicy] = None
+) -> SlabExecutor:
     """The shared pool for ``num_workers``, (re)spawned lazily.
 
     Pools persist across selections and Partition levels so workers are
-    spawned once per process, and are replaced if their workers died.
+    spawned once per process; dead workers are respawned in place rather
+    than tearing the pool down.  A pool is rebuilt only when it was closed
+    or when the ``REPRO_FAULT_PLAN`` environment hook changed (a new chaos
+    scenario must reach fresh workers).  A caller-supplied ``policy``
+    updates the pool's recovery knobs in place.
     """
+    import os as os_module
+
+    env_plan = os_module.environ.get("REPRO_FAULT_PLAN", "").strip() or None
     executor = _EXECUTORS.get(num_workers)
-    if executor is None or not executor.alive:
-        if executor is not None:
-            executor.close()
-        executor = SlabExecutor(num_workers)
+    if executor is not None and (
+        executor._closed or executor._fault_plan_json != env_plan
+    ):
+        executor.close()
+        executor = None
+    if executor is None:
+        executor = SlabExecutor(num_workers, policy=policy)
         _EXECUTORS[num_workers] = executor
+    else:
+        if policy is not None:
+            executor.policy = policy
+        executor.ensure_workers()
     return executor
 
 
@@ -295,8 +671,12 @@ class ParallelSlabScorer:
     Drop-in for the evaluator's bound ``many``: slabs below the IPC
     break-even (``min_pairs``, defaulting to
     ``max(2 * workers, MIN_PARALLEL_PAIRS)``) are scored in-process;
-    larger slabs go through the pool.  Either path returns the exact
-    ``many`` values, so the choice never affects the selected pair.
+    larger slabs go through the pool.  The pool self-heals around worker
+    failures, and the executor's circuit breaker demotes scoring to the
+    in-process path after repeated pool-level failures (with a cool-down
+    re-probe), so a degraded host gracefully converges to exactly the
+    single-process behaviour.  Every path returns the exact ``many``
+    values, so none of this ever affects the selected pair.
     """
 
     def __init__(
@@ -314,16 +694,38 @@ class ParallelSlabScorer:
         pairs = list(pairs)
         if len(pairs) < self.min_pairs:
             return self.cost.many(pairs)
-        return self.executor.score_slab(self.cost, pairs)
+        breaker = self.executor.breaker
+        if not breaker.allow():
+            self.executor._health_bump("breaker_skipped_slabs")
+            return self.cost.many(pairs)
+        rescues_before = self.executor.health.in_process_rescues
+        try:
+            values = self.executor.score_slab(self.cost, pairs)
+        except ParallelExecutionError:
+            # Truly unrecoverable pool failure (closed pool, refused
+            # respawn): degrade to the bit-identical in-process path and
+            # let the breaker decide whether to keep trying the pool.
+            self.executor._health_bump("in_process_rescues")
+            breaker.record_failure()
+            return self.cost.many(pairs)
+        if self.executor.health.in_process_rescues > rescues_before:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+        return values
 
 
-def parallel_many_scorer(cost, num_workers: int) -> Optional[ParallelSlabScorer]:
+def parallel_many_scorer(
+    cost, num_workers: int, policy: Optional[RecoveryPolicy] = None
+) -> Optional[ParallelSlabScorer]:
     """A parallel scorer for ``cost``, or ``None`` if it cannot be shipped.
 
     Only the batched cost evaluators (anything deriving from
     :class:`repro.hashing.batch.BatchCostEvaluatorBase`, which guarantees a
     picklable state and a slab-sliced ``many``) cross the process boundary;
-    other ``many``-bearing costs stay on the in-process path.
+    other ``many``-bearing costs stay on the in-process path.  ``policy``
+    (e.g. from :meth:`ColorReduceParameters.parallel_recovery_policy`)
+    tunes the shared pool's retry/breaker knobs.
     """
     if num_workers < 2:
         return None
@@ -331,4 +733,4 @@ def parallel_many_scorer(cost, num_workers: int) -> Optional[ParallelSlabScorer]
 
     if not isinstance(cost, BatchCostEvaluatorBase):
         return None
-    return ParallelSlabScorer(cost, get_executor(num_workers))
+    return ParallelSlabScorer(cost, get_executor(num_workers, policy=policy))

@@ -1,0 +1,212 @@
+"""Deterministic fault injection for the parallel scoring pool.
+
+The executor's recovery machinery (shard retry, worker respawn, in-process
+rescue — see :mod:`repro.parallel.executor`) is only trustworthy if every
+path is exercised on purpose, reproducibly, in tests and CI.  This module
+provides that: a :class:`FaultPlan` is a serializable list of
+:class:`FaultSpec` entries, each arming exactly one fault on one worker's
+N-th scoring task.  The plan is threaded into the worker processes at spawn
+time (as a pickled constructor argument, so it works under both ``fork``
+and ``spawn``) and can also be supplied through the ``REPRO_FAULT_PLAN``
+environment variable as JSON, which reaches pools created deep inside a
+pipeline run without touching any parameter plumbing.
+
+Fault taxonomy (``FaultSpec.kind``):
+
+``crash``
+    The worker process exits immediately (``os._exit``) when the armed
+    task arrives — the parent must notice the death, respawn a
+    replacement, and re-route the worker's in-flight shards.
+``delay``
+    The worker sleeps ``seconds`` before scoring the task — with a delay
+    longer than the per-shard timeout this simulates a hung worker; the
+    late (still correct) reply must be absorbed or dropped harmlessly.
+``drop``
+    The worker consumes the task and never replies — only the per-shard
+    timeout can recover this shard.
+``garble``
+    The worker replies with a *truncated* cost vector — the parent's
+    reply integrity check (shard length + job/token echo) must reject it
+    and re-score the shard instead of silently corrupting the slab.
+``error``
+    The worker replies with an explicit error, exercising the error-reply
+    retry path.
+
+Determinism: a plan is a pure value; workers fire faults by counting their
+own scoring tasks, and each spec fires at most once (``task >= 1`` arms the
+N-th task; ``task == 0`` arms *every* task — a persistent fault, for
+forcing retry exhaustion and breaker trips).  Respawned replacement workers
+are started **without** a plan, so recovery always converges.  Because
+workers return values and never decisions, no fault — injected or real —
+can change a selected seed, a recursion tree, or a coloring; the chaos
+tests (``tests/test_parallel_faults.py``) assert exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Environment variable holding a JSON-encoded :class:`FaultPlan`; read by
+#: :func:`plan_from_env` when an executor is built without an explicit plan.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: The recognised fault kinds, in documentation order.
+FAULT_KINDS = ("crash", "delay", "drop", "garble", "error")
+
+#: ``task`` value arming a spec on every scoring task (persistent fault).
+EVERY_TASK = 0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: ``kind`` fires on worker ``worker``'s task ``task``.
+
+    ``task`` counts that worker's *scoring* tasks from 1 (loads are not
+    counted); ``task == EVERY_TASK`` fires on every scoring task.
+    ``seconds`` is the sleep duration for ``delay`` (ignored otherwise).
+    """
+
+    worker: int
+    task: int
+    kind: str
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ConfigurationError("FaultSpec.worker must be >= 0")
+        if self.task < 0:
+            raise ConfigurationError(
+                "FaultSpec.task must be >= 1 (or 0 for every task)"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.seconds < 0:
+            raise ConfigurationError("FaultSpec.seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A serializable, deterministic set of armed faults for one pool."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def scattered(
+        cls,
+        seed: int,
+        num_workers: int,
+        num_faults: int = 4,
+        kinds: Tuple[str, ...] = FAULT_KINDS,
+        max_task: int = 3,
+        delay_seconds: float = 0.2,
+    ) -> "FaultPlan":
+        """A seeded pseudo-random plan (same seed, same plan — always).
+
+        Used by the chaos tests and CI to sweep many fault placements
+        without hand-writing each one; the draw is a pure function of the
+        arguments.
+        """
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be positive")
+        if max_task < 1:
+            raise ConfigurationError("max_task must be positive")
+        rng = random.Random(seed)
+        specs = tuple(
+            FaultSpec(
+                worker=rng.randrange(num_workers),
+                task=rng.randint(1, max_task),
+                kind=rng.choice(list(kinds)),
+                seconds=delay_seconds,
+            )
+            for _ in range(num_faults)
+        )
+        return cls(specs=specs)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.specs
+
+    def for_worker(self, worker_index: int) -> Tuple[FaultSpec, ...]:
+        """The specs armed on one worker, in plan order."""
+        return tuple(spec for spec in self.specs if spec.worker == worker_index)
+
+    # ------------------------------------------------------------------
+    # serialization (the env-var hook)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps([asdict(spec) for spec in self.specs])
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultPlan":
+        try:
+            raw = json.loads(blob)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid fault-plan JSON: {exc}") from exc
+        if not isinstance(raw, list):
+            raise ConfigurationError(
+                "fault-plan JSON must be a list of spec objects"
+            )
+        specs = []
+        for entry in raw:
+            if not isinstance(entry, dict):
+                raise ConfigurationError("each fault spec must be an object")
+            try:
+                specs.append(FaultSpec(**entry))
+            except TypeError as exc:
+                raise ConfigurationError(f"bad fault spec {entry!r}: {exc}") from exc
+        return cls(specs=tuple(specs))
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The :class:`FaultPlan` from ``REPRO_FAULT_PLAN``, or ``None``.
+
+    An empty/unset variable means no injection; malformed JSON raises
+    :class:`~repro.errors.ConfigurationError` loudly rather than silently
+    running a chaos suite without its faults.
+    """
+    blob = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    if not blob:
+        return None
+    return FaultPlan.from_json(blob)
+
+
+class FaultInjector:
+    """Worker-side consumer of one worker's slice of a :class:`FaultPlan`.
+
+    Lives inside ``_worker_main``: each scoring task calls
+    :meth:`next_fault`, which counts the task and returns the armed spec
+    (at most once per spec) or ``None``.  Per-ordinal specs shadow a
+    persistent (``EVERY_TASK``) spec on their task.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan], worker_index: int) -> None:
+        specs = plan.for_worker(worker_index) if plan is not None else ()
+        self._by_task: Dict[int, FaultSpec] = {}
+        self._persistent: Optional[FaultSpec] = None
+        for spec in specs:
+            if spec.task == EVERY_TASK:
+                self._persistent = spec
+            else:
+                # Last spec wins on a duplicate ordinal (plans should not
+                # arm two faults on the same task; documented, not checked).
+                self._by_task[spec.task] = spec
+        self._scored = 0
+
+    def next_fault(self) -> Optional[FaultSpec]:
+        self._scored += 1
+        spec = self._by_task.pop(self._scored, None)
+        if spec is not None:
+            return spec
+        return self._persistent

@@ -136,3 +136,51 @@ def test_repo_baselines_exist_for_both_scales():
             "BENCH_p4.json",
             "BENCH_p5.json",
         ], f"committed {scale} baselines incomplete: {files}"
+
+
+def test_truncated_json_is_one_actionable_line(tmp_path):
+    _write(tmp_path / "base", "BENCH_p1.json", [_record()])
+    (tmp_path / "cur").mkdir()
+    # A benchmark run killed mid-write: valid prefix, truncated tail.
+    (tmp_path / "cur" / "BENCH_p1.json").write_text('[{"op": "kernel", "spee')
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    )
+    assert result.returncode == 2
+    assert "Traceback" not in result.stderr
+    assert "BENCH_p1.json" in result.stderr
+    assert "invalid JSON" in result.stderr
+
+
+def test_baseline_missing_required_keys_is_one_actionable_line(tmp_path):
+    # A hand-edited baseline that lost its gated metric.
+    _write(tmp_path / "base", "BENCH_p1.json", [{"op": "kernel", "n": 600}])
+    _write(tmp_path / "cur", "BENCH_p1.json", [_record()])
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    )
+    assert result.returncode == 2
+    assert "Traceback" not in result.stderr
+    assert "BENCH_p1.json" in result.stderr
+    assert "speedup" in result.stderr
+
+
+def test_non_list_and_non_numeric_records_are_rejected(tmp_path):
+    _write(tmp_path / "base", "BENCH_p1.json", [_record()])
+    _write(tmp_path / "cur", "BENCH_p1.json", {"op": "kernel"})  # dict, not list
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    )
+    assert result.returncode == 2
+    assert "expected a JSON list" in result.stderr
+
+    _write(tmp_path / "cur", "BENCH_p1.json", [_record(speedup="fast")])
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    )
+    assert result.returncode == 2
+    assert "non-numeric speedup" in result.stderr

@@ -50,3 +50,60 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_negative_parallel_workers_is_a_one_line_error(self, capsys):
+        code = main(
+            ["color", "--nodes", "60", "--parallel-workers", "-3"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "--parallel-workers must be at least 1" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_zero_parallel_workers_is_a_one_line_error(self, capsys):
+        assert main(["color", "--nodes", "60", "--parallel-workers", "0"]) == 2
+        assert "--parallel-workers must be at least 1" in capsys.readouterr().err
+
+    def test_oversubscribed_workers_warn_but_run(self, capsys, monkeypatch):
+        import os as os_module
+
+        monkeypatch.setattr(os_module, "cpu_count", lambda: 2)
+        from repro.parallel import shutdown_executors
+
+        try:
+            code = main(
+                ["color", "--nodes", "100", "--parallel-workers", "3",
+                 "--parallel-shard-timeout", "10"]
+            )
+        finally:
+            shutdown_executors()
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warning:" in captured.err and "exceeds" in captured.err
+        assert "pool health:" in captured.out
+
+    def test_parallel_run_prints_pool_health(self, capsys, monkeypatch):
+        import os as os_module
+
+        monkeypatch.setattr(os_module, "cpu_count", lambda: 8)  # no warning
+        from repro.parallel import shutdown_executors
+
+        try:
+            code = main(["color", "--nodes", "100", "--parallel-workers", "2"])
+        finally:
+            shutdown_executors()
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "pool health: healthy" in captured.out
+        assert "warning:" not in captured.err
+
+    def test_invalid_recovery_knob_is_a_one_line_error(self, capsys):
+        code = main(
+            ["color", "--nodes", "100", "--parallel-workers", "2",
+             "--parallel-breaker-threshold", "0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "breaker_threshold" in captured.err

@@ -398,3 +398,48 @@ class TestParameterPlumbing:
     def test_default_is_one_worker(self):
         assert ColorReduceParameters().parallel_workers == 1
         assert LowSpaceParameters().parallel_workers == 1
+
+
+# ----------------------------------------------------------------------
+# pool-health telemetry
+# ----------------------------------------------------------------------
+class TestPoolHealth:
+    def test_record_arithmetic(self):
+        from repro.accounting import PoolHealth
+
+        health = PoolHealth()
+        assert not health.degraded and health.total_events == 0
+        health.bump("shard_retries")
+        health.bump("worker_respawns", 2)
+        assert health.degraded and health.total_events == 3
+        other = PoolHealth(shard_retries=1)
+        merged = health.copy()
+        merged.merge(other)
+        assert merged.shard_retries == 2
+        assert health.shard_retries == 1  # copy detached the counters
+        delta = merged.delta(health)
+        assert delta.shard_retries == 1 and delta.worker_respawns == 0
+        assert "shard_retries=2" in merged.summary()
+        assert merged.as_dict()["worker_respawns"] == 2
+
+    def test_fault_free_runs_surface_an_all_zero_record(self):
+        # The pipelines attach a per-run PoolHealth delta whenever
+        # parallel_workers > 1; without injected faults it must be all-zero
+        # (any recovery event on a healthy pool would be a bug).
+        graph = erdos_renyi(150, 0.12, seed=9)
+        palettes = PaletteAssignment.delta_plus_one(graph)
+        params = ColorReduceParameters.scaled(num_bins=3, parallel_workers=2)
+        result = ColorReduce(params).run(graph, palettes.copy())
+        assert not result.pool_health.degraded
+        low = LowSpaceParameters.scaled(
+            num_bins=3, low_degree_threshold=6, parallel_workers=2
+        )
+        low_result = LowSpaceColorReduce(low).run(graph, palettes.copy())
+        assert not low_result.pool_health.degraded
+
+    def test_workers_one_always_reports_an_empty_record(self):
+        graph = erdos_renyi(120, 0.1, seed=4)
+        palettes = PaletteAssignment.delta_plus_one(graph)
+        params = ColorReduceParameters.scaled(num_bins=3)
+        result = ColorReduce(params).run(graph, palettes)
+        assert result.pool_health.total_events == 0
