@@ -32,11 +32,18 @@ A fresh record passes when ``speedup >= tolerance * baseline_speedup``.
 The default tolerance (0.5) absorbs shared-runner noise while still
 catching a kernel that silently lost half its advantage.
 
-Known limitation: the committed P5 baselines were recorded on a 1-CPU
-host, so on multi-core CI the cpus rule skips them — P5 perf is enforced
-there by ``bench_p5``'s own cpu-gated speedup assertion instead.  Refresh
-``benchmarks/baselines/*/BENCH_p5.json`` from a CI artifact (produced on
-the runner core count) to bring P5 under this gate too.
+Baseline validity
+-----------------
+A gate-armed P5 **baseline** recorded on a single CPU is rejected outright
+(:class:`BenchRecordError`, exit 2), not skipped: a 1-CPU host cannot
+witness a parallel speedup, so such a baseline makes the gate silently
+vacuous — every multi-core CI run differs in ``cpus`` and is skipped,
+which is exactly the failure mode that once let the committed P5 baselines
+enforce nothing.  ``bench_p5`` now stamps ``"gate": false`` on every
+record it emits from a <2-CPU host (the explicit, visible opt-out); a
+``cpus: 1`` record with the gate still armed can only be a hand-edited or
+stale baseline and must fail loudly.  Refresh baselines with ``--update``
+from a multi-core run to arm the P5 gate.
 """
 
 from __future__ import annotations
@@ -116,12 +123,35 @@ def load_records(path: Path):
     return by_op
 
 
+def validate_baseline(path: Path, records: dict) -> None:
+    """Reject baselines that would make the gate silently vacuous.
+
+    Only P5 (multiprocess scaling) records are CPU-sensitive: a gate-armed
+    baseline recorded on one CPU can never match a multi-core CI run's
+    ``cpus`` field, so every comparison would be skipped forever.  The
+    benchmark stamps ``"gate": false`` on single-CPU records itself; one
+    that arrives here armed is stale or hand-edited.
+    """
+    if not path.name.startswith("BENCH_p5"):
+        return
+    for op, record in sorted(records.items()):
+        if record.get("cpus") == 1 and record.get("gate") is not False:
+            raise BenchRecordError(
+                path,
+                f"gate-armed P5 baseline {op!r} was recorded on 1 CPU — it "
+                "can never be compared against a multi-core run, making the "
+                "gate vacuous; re-record it on a multi-core host "
+                "(check_regression.py --update) or mark it \"gate\": false",
+            )
+
+
 def compare_file(name: str, baseline: Path, current: Path, tolerance: float):
     """Compare one benchmark file; returns (lines, regressions, compared)."""
     lines = []
     regressions = 0
     compared = 0
     baseline_records = load_records(baseline)
+    validate_baseline(baseline, baseline_records)
     current_records = load_records(current)
     for op, base in sorted(baseline_records.items()):
         fresh = current_records.get(op)

@@ -10,7 +10,7 @@ selection, partitioning, local coloring, palette updates, ...).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, Iterator, Tuple
+from typing import ClassVar, Dict, Iterator, Tuple
 
 
 @dataclass
@@ -113,6 +113,13 @@ class PoolHealth:
         failures, demoting scoring to the in-process path.
     breaker_skipped_slabs:
         Slabs scored in-process while the breaker was open (cool-down).
+    bytes_shipped:
+        Payload bytes that crossed the process boundary through the task
+        queues (pickled evaluator envelopes and slab coefficients), summed
+        over workers for broadcasts.  Volume telemetry, not a fault.
+    bytes_shared:
+        Payload bytes published once into shared-memory segments instead of
+        being shipped per worker.  Volume telemetry, not a fault.
     """
 
     shard_retries: int = 0
@@ -124,6 +131,13 @@ class PoolHealth:
     in_process_rescues: int = 0
     breaker_trips: int = 0
     breaker_skipped_slabs: int = 0
+    bytes_shipped: int = 0
+    bytes_shared: int = 0
+
+    #: Transport-volume counters: meaningful telemetry, but not recovery
+    #: events — excluded from :attr:`total_events` / :attr:`degraded` so a
+    #: fault-free parallel run still reports healthy.
+    _VOLUME_COUNTERS: ClassVar[Tuple[str, ...]] = ("bytes_shipped", "bytes_shared")
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment one counter by ``amount`` (the counter must exist)."""
@@ -148,7 +162,11 @@ class PoolHealth:
 
     @property
     def total_events(self) -> int:
-        return sum(getattr(self, spec.name) for spec in fields(self))
+        return sum(
+            getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name not in self._VOLUME_COUNTERS
+        )
 
     @property
     def degraded(self) -> bool:

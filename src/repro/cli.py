@@ -12,7 +12,6 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from typing import Optional, Sequence
 
@@ -23,6 +22,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.workloads import build_workload, list_workloads
 from repro.graph.validation import assert_valid_list_coloring, count_colors_used
+from repro.parallel.executor import effective_cpu_count
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -88,6 +88,26 @@ def _build_parser() -> argparse.ArgumentParser:
             "probe slab re-tests the pool"
         ),
     )
+    color.add_argument(
+        "--parallel-transport",
+        choices=("shm", "pickle"),
+        default="shm",
+        help=(
+            "payload transport to the workers: zero-copy shared-memory "
+            "segments (default) or the queue-borne pickle encoding; "
+            "bit-identical either way"
+        ),
+    )
+    color.add_argument(
+        "--parallel-min-slab-pairs",
+        type=int,
+        default=None,
+        help=(
+            "engagement floor: slabs smaller than this are scored "
+            "in-process even with --parallel-workers > 1 (default: "
+            "adaptive from worker and CPU counts; 0 always engages)"
+        ),
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E9)")
     experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
@@ -104,16 +124,20 @@ def _validate_workers(workers: int) -> None:
     A non-positive count is a configuration error (caught in :func:`main`
     and rendered as a one-line ``error:``), matching the parameter sets'
     own validation instead of surfacing a deep ``SlabExecutor`` failure.
-    More workers than CPUs is legal — the pool still produces bit-identical
-    results — but it only adds scheduling overhead, so it earns a warning
-    on stderr rather than a failure.
+    More workers than *usable* CPUs is legal — the pool still produces
+    bit-identical results — but it only adds scheduling overhead, so it
+    earns a warning on stderr rather than a failure.  The CPU count is
+    affinity-aware (:func:`repro.parallel.executor.effective_cpu_count`):
+    in a cgroup-pinned container ``os.cpu_count()`` reports the host's
+    cores, which would silence the warning exactly where oversubscription
+    hurts most.
     """
     if workers < 1:
         raise ConfigurationError(
             f"--parallel-workers must be at least 1, got {workers}"
         )
-    cpus = os.cpu_count()
-    if cpus is not None and workers > cpus:
+    cpus = effective_cpu_count()
+    if workers > cpus:
         print(
             f"warning: --parallel-workers {workers} exceeds the "
             f"{cpus} available CPU(s); results are identical but "
@@ -130,6 +154,8 @@ def _parallel_overrides(args: argparse.Namespace) -> dict:
         parallel_shard_timeout=args.parallel_shard_timeout,
         parallel_breaker_threshold=args.parallel_breaker_threshold,
         parallel_breaker_cooldown=args.parallel_breaker_cooldown,
+        parallel_transport=args.parallel_transport,
+        parallel_min_slab_pairs=args.parallel_min_slab_pairs,
     )
 
 

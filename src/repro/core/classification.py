@@ -276,6 +276,7 @@ def _classify_partition_arrays(
     color_arrays,
     collect_restricted: bool,
     prep=None,
+    precomputed_counts=None,
 ):
     """Shared array pipeline behind the batched classification entry points
     (:func:`classify_partition_batch` / :func:`classify_and_restrict_batch`
@@ -286,6 +287,13 @@ def _classify_partition_arrays(
     which case the palette-entry arrays the selection already built (flat
     entry owners, universe positions, palette sizes) are reused and no
     palette is flattened again.
+
+    ``precomputed_counts`` may pass ``(in_bin_degree, in_bin_palette)``
+    int64 arrays already reassembled from the parallel pool's phase shards
+    (:meth:`PartitionCostEvaluator.phase_shard`); the per-edge compare and
+    the bincounts — the O(m) half of this pass — are then skipped.  The
+    shards compute the identical integers, so the classification is
+    bit-identical either way.
     """
     import numpy as np
 
@@ -308,10 +316,13 @@ def _classify_partition_arrays(
     bin_sizes = {index: int(bin_size_counts[index]) for index in range(num_bins)}
     bad_bins = {index for index in range(num_bins) if bin_size_counts[index] >= bin_cap}
 
-    same_bin = bins1[csr.edge_sources] == bins1[csr.indices]
-    in_bin_degree = np.bincount(
-        csr.edge_sources[same_bin], minlength=num_nodes
-    ).astype(np.int64, copy=False)
+    if precomputed_counts is not None:
+        in_bin_degree = precomputed_counts[0]
+    else:
+        same_bin = bins1[csr.edge_sources] == bins1[csr.indices]
+        in_bin_degree = np.bincount(
+            csr.edge_sources[same_bin], minlength=num_nodes
+        ).astype(np.int64, copy=False)
 
     if prep is not None:
         # The selection's batched evaluator already flattened every palette
@@ -368,10 +379,12 @@ def _classify_partition_arrays(
             entry_positions = None
             entry_bins = color_bins_of_entries(np, universe, universe_bins, flat_colors)
     entry_match = entry_bins == bins1[entry_owners]
-    matched_owners = entry_owners[entry_match]
-    in_bin_palette = np.bincount(matched_owners, minlength=num_nodes).astype(
-        np.int64, copy=False
-    )
+    if precomputed_counts is not None:
+        in_bin_palette = precomputed_counts[1]
+    else:
+        in_bin_palette = np.bincount(
+            entry_owners[entry_match], minlength=num_nodes
+        ).astype(np.int64, copy=False)
 
     expected = csr.degrees / num_bins
     degree_bad = np.abs(in_bin_degree - expected) > degree_slack
@@ -611,7 +624,7 @@ class PartitionCostEvaluator(BatchCostEvaluatorBase):
         return classification.cost(self.global_nodes)
 
     # -- final classification for the selected pair ---------------------
-    def classify_selected(self, h1: HashFunction, h2: HashFunction):
+    def classify_selected(self, h1: HashFunction, h2: HashFunction, scorer=None):
         """Fused classification + palette restriction for the winning pair.
 
         The post-selection counterpart of :meth:`many`: one more pass over
@@ -622,14 +635,171 @@ class PartitionCostEvaluator(BatchCostEvaluatorBase):
         Returns ``(classification, restricted)`` exactly like
         :func:`classify_and_restrict_batch`, and is bit-identical to the
         scalar :func:`classify_partition` + ``restricted_to`` path.
+
+        ``scorer`` may pass the selection's
+        :class:`repro.parallel.executor.ParallelSlabScorer`: the O(m)
+        in-bin count vectors are then sharded across the worker pool
+        (:meth:`phase_shard`) instead of computed serially — same
+        integers, same classification, different wall-clock.
         """
         prep = self._prep
         if prep is None or self._prep_is_stale(prep):
             prep = self._prepare()
+        precomputed = None
+        if scorer is not None:
+            parts = scorer.phase_values(
+                "classify", h1, h2, len(prep["csr"].node_ids), 2
+            )
+            if parts is not None:
+                np = prep["np"]
+                precomputed = (
+                    np.asarray(parts[0], dtype=np.int64),
+                    np.asarray(parts[1], dtype=np.int64),
+                )
         return _classify_partition_arrays(
             self.graph, self.palettes, h1, h2, self.params, self.ell,
             self.global_nodes, None, collect_restricted=True, prep=prep,
+            precomputed_counts=precomputed,
         )
+
+    # -- zero-copy transport --------------------------------------------
+    def shared_payload(self):
+        """Static arrays + scalar state for the shm evaluator envelope.
+
+        Exports the CSR view and the flattened palette-entry arrays the
+        batched kernels read; returns ``None`` (pickle fallback) when the
+        palette store could not flatten (colors beyond ``int64``) or node
+        ids do not fit ``int64``.
+        """
+        prep = self._prep
+        if prep is None or self._prep_is_stale(prep):
+            prep = self._prepare()
+        if prep["universe_array"] is None or not prep["entries_sorted"]:
+            return None
+        np = prep["np"]
+        csr = prep["csr"]
+        try:
+            node_ids = np.asarray(csr.node_ids, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return None
+        state = {
+            "params": self.params,
+            "ell": self.ell,
+            "global_nodes": self.global_nodes,
+            "num_bins": prep["num_bins"],
+            "num_color_bins": prep["num_color_bins"],
+            "degree_slack": prep["degree_slack"],
+            "palette_slack": prep["palette_slack"],
+            "bin_cap": prep["bin_cap"],
+            "literal_palette": prep["literal_palette"],
+            "entries_sorted": prep["entries_sorted"],
+        }
+        arrays = {
+            "node_ids": node_ids,
+            "indptr": csr.indptr,
+            "indices": csr.indices,
+            "degrees": csr.degrees,
+            "edge_sources": csr.edge_sources,
+            "universe": prep["universe_array"],
+            "entry_nodes": prep["entry_nodes"],
+            "entry_colors": prep["entry_colors"],
+            "entry_indptr": prep["entry_indptr"],
+            "palette_sizes": prep["palette_sizes"],
+        }
+        return state, arrays
+
+    @classmethod
+    def from_shared_payload(cls, state, arrays):
+        """Worker-side rebuild over attached segment views (zero copies).
+
+        The instance has no live graph or palettes — only the prep arrays
+        the batched kernels (:meth:`_many_slab`, :meth:`phase_shard`)
+        read.  The scalar ``__call__`` path is deliberately unavailable.
+        """
+        import numpy as np
+
+        from repro.graph.csr import GraphCSR
+
+        evaluator = cls.__new__(cls)
+        evaluator.graph = None
+        evaluator.palettes = None
+        evaluator.params = state["params"]
+        evaluator.ell = state["ell"]
+        evaluator.global_nodes = state["global_nodes"]
+        universe_array = arrays["universe"]
+        evaluator._prep = {
+            "np": np,
+            "_shared": True,
+            "csr": GraphCSR(
+                node_ids=arrays["node_ids"].tolist(),
+                indptr=arrays["indptr"],
+                indices=arrays["indices"],
+                degrees=arrays["degrees"],
+                edge_sources=arrays["edge_sources"],
+            ),
+            "universe": universe_array.tolist(),
+            "universe_array": universe_array,
+            "entry_nodes": arrays["entry_nodes"],
+            "entry_colors": arrays["entry_colors"],
+            "entry_indptr": arrays["entry_indptr"],
+            "palette_sizes": arrays["palette_sizes"],
+            "entries_sorted": state["entries_sorted"],
+            "num_bins": state["num_bins"],
+            "num_color_bins": state["num_color_bins"],
+            "degree_slack": state["degree_slack"],
+            "palette_slack": state["palette_slack"],
+            "bin_cap": state["bin_cap"],
+            "literal_palette": state["literal_palette"],
+            "node_xs_cache": {},
+            "color_xs_cache": {},
+        }
+        return evaluator
+
+    def phase_shard(
+        self, phase: str, h1: HashFunction, h2: HashFunction, start: int, stop: int
+    ) -> List[float]:
+        """In-bin degree and in-bin palette counts for nodes
+        ``[start, stop)``, concatenated (``classify`` phase).
+
+        The CSR edge runs and palette-entry runs of a node range are
+        contiguous, so a shard touches exactly its own edges/entries; the
+        bincounts produce the same integers the serial pass produces for
+        those nodes, making the parent's reassembly bit-identical.
+        """
+        if phase != "classify":
+            raise ValueError(f"PartitionCostEvaluator has no phase {phase!r}")
+        prep = self._prep
+        if prep is None or (not prep.get("_shared") and self._prep_is_stale(prep)):
+            prep = self._prepare()
+        np = prep["np"]
+        csr = prep["csr"]
+        num_bins = prep["num_bins"]
+        num_color_bins = prep["num_color_bins"]
+        bins1 = (np.asarray(h1.hash_many(csr.node_ids)) % num_bins).astype(
+            np.int64, copy=False
+        )
+        lo, hi = int(csr.indptr[start]), int(csr.indptr[stop])
+        sources = csr.edge_sources[lo:hi]
+        same_bin = bins1[sources] == bins1[csr.indices[lo:hi]]
+        in_bin_degree = np.bincount(
+            sources[same_bin] - start, minlength=stop - start
+        )
+        universe = prep["universe"]
+        universe_bins = (
+            (np.asarray(h2.hash_many(universe)) % num_color_bins).astype(
+                np.int64, copy=False
+            )
+            if len(universe)
+            else np.zeros(0, dtype=np.int64)
+        )
+        elo = int(prep["entry_indptr"][start])
+        ehi = int(prep["entry_indptr"][stop])
+        owners = prep["entry_nodes"][elo:ehi]
+        entry_match = universe_bins[prep["entry_colors"][elo:ehi]] == bins1[owners]
+        in_bin_palette = np.bincount(
+            owners[entry_match] - start, minlength=stop - start
+        )
+        return in_bin_degree.tolist() + in_bin_palette.tolist()
 
     # -- batched path ---------------------------------------------------
     def _prepare(self):

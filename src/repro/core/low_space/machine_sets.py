@@ -363,7 +363,7 @@ class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
 
     # -- node-level outcome for the selected pair -----------------------
     def outcome_selected(
-        self, h1: HashFunction, h2: HashFunction, color_arrays=None
+        self, h1: HashFunction, h2: HashFunction, color_arrays=None, scorer=None
     ) -> NodeLevelOutcome:
         """Full :class:`NodeLevelOutcome` for the winning pair, from prep.
 
@@ -377,6 +377,12 @@ class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
         caller also feeds the palette restriction, in which case the high
         nodes' color bins are looked up there instead of hashed a second
         time.  Bit-identical to the scalar :func:`node_level_outcome`.
+
+        ``scorer`` may pass the selection's
+        :class:`repro.parallel.executor.ParallelSlabScorer`: the per-node
+        count vectors are then sharded across the worker pool
+        (:meth:`phase_shard`) instead of computed serially — the shards
+        produce the same integers, so the outcome is bit-identical.
         """
         import numpy as np
 
@@ -392,6 +398,17 @@ class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
         bins_high = (np.asarray(h1.hash_many(high)) % self.num_bins).astype(
             np.int64, copy=False
         )
+        if scorer is not None:
+            parts = scorer.phase_values("outcome", h1, h2, num_high, 2)
+            if parts is not None:
+                return _outcome_from_arrays(
+                    high,
+                    bins_high,
+                    np.asarray(parts[0], dtype=np.int64),
+                    np.asarray(parts[1], dtype=np.int64),
+                    prep["threshold"],
+                    last_bin,
+                )
         same_bin = bins_high[prep["edge_sources"]] == bins_high[prep["edge_targets"]]
         d_prime = np.bincount(
             prep["edge_sources"][same_bin], minlength=num_high
@@ -417,6 +434,109 @@ class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
         return _outcome_from_arrays(
             high, bins_high, d_prime, p_prime, prep["threshold"], last_bin
         )
+
+    # -- zero-copy transport --------------------------------------------
+    def shared_payload(self):
+        """Static arrays + scalar state for the shm evaluator envelope, or
+        ``None`` (pickle fallback) when node ids or palette colors do not
+        fit ``int64``."""
+        prep = self._prep
+        if prep is None or self._prep_is_stale(prep):
+            prep = self._prepare()
+        np = prep["np"]
+        try:
+            high = np.asarray(prep["high"], dtype=np.int64)
+            universe = np.asarray(prep["universe"], dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return None
+        state = {"params": self.params, "num_bins": self.num_bins}
+        arrays = {
+            "high": high,
+            "universe": universe,
+            "edge_sources": prep["edge_sources"],
+            "edge_targets": prep["edge_targets"],
+            "edge_indptr": prep["edge_indptr"],
+            "entry_nodes": prep["entry_nodes"],
+            "entry_colors": prep["entry_colors"],
+            "entry_indptr": prep["entry_indptr"],
+            "threshold": prep["threshold"],
+        }
+        return state, arrays
+
+    @classmethod
+    def from_shared_payload(cls, state, arrays):
+        """Worker-side rebuild over attached segment views (zero copies).
+
+        No live graph or palettes — only the prep arrays the batched
+        kernels (:meth:`_many_slab`, :meth:`phase_shard`) read; the
+        ``float64`` threshold vector crosses bit-exactly, so worker-side
+        comparisons match the parent's.
+        """
+        import numpy as np
+
+        evaluator = cls.__new__(cls)
+        evaluator.graph = None
+        evaluator.palettes = None
+        evaluator.high_degree_nodes = None
+        evaluator.params = state["params"]
+        evaluator.num_bins = state["num_bins"]
+        evaluator._prep = {
+            "np": np,
+            "_shared": True,
+            "graph_signature": None,
+            "high": arrays["high"].tolist(),
+            "universe": arrays["universe"].tolist(),
+            "edge_sources": arrays["edge_sources"],
+            "edge_targets": arrays["edge_targets"],
+            "edge_indptr": arrays["edge_indptr"],
+            "entry_nodes": arrays["entry_nodes"],
+            "entry_colors": arrays["entry_colors"],
+            "entry_indptr": arrays["entry_indptr"],
+            "threshold": arrays["threshold"],
+            "node_xs_cache": {},
+            "color_xs_cache": {},
+        }
+        return evaluator
+
+    def phase_shard(
+        self, phase: str, h1: HashFunction, h2: HashFunction, start: int, stop: int
+    ) -> List[float]:
+        """In-bin degree and in-bin palette counts for high nodes
+        ``[start, stop)``, concatenated (``outcome`` phase).
+
+        The high-high edge runs and palette-entry runs of a node range are
+        contiguous (both indptr-indexed), so a shard touches exactly its
+        own edges/entries and its bincounts reproduce the serial pass's
+        integers for those nodes.
+        """
+        if phase != "outcome":
+            raise ValueError(f"LowSpaceCostEvaluator has no phase {phase!r}")
+        prep = self._prep
+        if prep is None or (not prep.get("_shared") and self._prep_is_stale(prep)):
+            prep = self._prepare()
+        np = prep["np"]
+        num_color_bins = max(1, self.num_bins - 1)
+        bins_high = (np.asarray(h1.hash_many(prep["high"])) % self.num_bins).astype(
+            np.int64, copy=False
+        )
+        lo, hi = int(prep["edge_indptr"][start]), int(prep["edge_indptr"][stop])
+        sources = prep["edge_sources"][lo:hi]
+        same_bin = bins_high[sources] == bins_high[prep["edge_targets"][lo:hi]]
+        d_prime = np.bincount(sources[same_bin] - start, minlength=stop - start)
+        universe = prep["universe"]
+        universe_bins = (
+            (np.asarray(h2.hash_many(universe)) % num_color_bins).astype(
+                np.int64, copy=False
+            )
+            if len(universe)
+            else np.zeros(0, dtype=np.int64)
+        )
+        elo = int(prep["entry_indptr"][start])
+        ehi = int(prep["entry_indptr"][stop])
+        owners = prep["entry_nodes"][elo:ehi]
+        entry_match = universe_bins[prep["entry_colors"][elo:ehi]] == bins_high[owners]
+        p_prime = np.bincount(owners[entry_match] - start, minlength=stop - start)
+        return d_prime.tolist() + p_prime.tolist()
 
     def _prepare(self):
         import numpy as np

@@ -53,6 +53,14 @@ class LowSpaceParameters:
     parallel_shard_timeout: float = 30.0
     parallel_breaker_threshold: int = 3
     parallel_breaker_cooldown: int = 8
+    #: Payload transport across the process boundary — ``shm`` (default,
+    #: zero-copy shared-memory segments) or ``pickle`` (the differential
+    #: reference); see
+    #: :attr:`repro.core.params.ColorReduceParameters.parallel_transport`.
+    parallel_transport: str = "shm"
+    #: Explicit engagement floor (slab sizes below it stay in-process);
+    #: ``None`` = adaptive — see :attr:`repro.core.params.ColorReduceParameters.parallel_min_slab_pairs`.
+    parallel_min_slab_pairs: Optional[int] = None
     #: Route the graph-layer batch kernels: CSR-backed bin-instance
     #: extraction, the selected pair's batched node-level classification
     #: (:func:`repro.core.low_space.machine_sets.node_level_outcome_batch`),
@@ -89,6 +97,12 @@ class LowSpaceParameters:
             raise ConfigurationError("parallel_breaker_threshold must be >= 1")
         if self.parallel_breaker_cooldown < 1:
             raise ConfigurationError("parallel_breaker_cooldown must be >= 1")
+        if self.parallel_transport not in ("shm", "pickle"):
+            raise ConfigurationError(
+                "parallel_transport must be 'shm' or 'pickle'"
+            )
+        if self.parallel_min_slab_pairs is not None and self.parallel_min_slab_pairs < 0:
+            raise ConfigurationError("parallel_min_slab_pairs must be >= 0")
 
     def parallel_recovery_policy(self):
         """The pool's :class:`repro.parallel.executor.RecoveryPolicy`, or

@@ -150,6 +150,8 @@ class LowSpacePartition:
             use_batch=self.params.selection_use_batch,
             parallel_workers=self.params.parallel_workers,
             parallel_recovery=self.params.parallel_recovery_policy(),
+            parallel_transport=self.params.parallel_transport,
+            parallel_min_pairs=self.params.parallel_min_slab_pairs,
         )
         wrapped_charge = None
         if charge is not None:
@@ -176,8 +178,23 @@ class LowSpacePartition:
         use_batch = self.params.graph_use_batch
         color_arrays = None
         if use_batch:
+            scorer = None
+            if self.params.parallel_workers > 1:
+                from repro.parallel.executor import parallel_many_scorer
+
+                # Reuses the selection's warm pool (same registry key), so the
+                # post-selection outcome shards ride for free.
+                scorer = parallel_many_scorer(
+                    cost,
+                    self.params.parallel_workers,
+                    policy=self.params.parallel_recovery_policy(),
+                    transport=self.params.parallel_transport,
+                    min_pairs=self.params.parallel_min_slab_pairs,
+                )
             color_arrays = color_bin_arrays(palettes, h2, num_color_bins)
-            outcome = cost.outcome_selected(h1, h2, color_arrays=color_arrays)
+            outcome = cost.outcome_selected(
+                h1, h2, color_arrays=color_arrays, scorer=scorer
+            )
         else:
             outcome = node_level_outcome(
                 graph, palettes, high_degree_nodes, h1, h2, self.params, num_bins

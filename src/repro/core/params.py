@@ -145,6 +145,8 @@ class ColorReduceParameters:
     parallel_shard_timeout: float = 30.0
     parallel_breaker_threshold: int = 3
     parallel_breaker_cooldown: int = 8
+    parallel_transport: str = "shm"
+    parallel_min_slab_pairs: Optional[int] = None
     graph_use_batch: bool = True
     enforce_palette_surplus: bool = True
 
@@ -171,6 +173,12 @@ class ColorReduceParameters:
             raise ConfigurationError("parallel_breaker_threshold must be >= 1")
         if self.parallel_breaker_cooldown < 1:
             raise ConfigurationError("parallel_breaker_cooldown must be >= 1")
+        if self.parallel_transport not in ("shm", "pickle"):
+            raise ConfigurationError(
+                "parallel_transport must be 'shm' or 'pickle'"
+            )
+        if self.parallel_min_slab_pairs is not None and self.parallel_min_slab_pairs < 0:
+            raise ConfigurationError("parallel_min_slab_pairs must be >= 0")
 
     # ------------------------------------------------------------------
     # alternate constructors

@@ -150,6 +150,8 @@ class Partition:
             use_batch=self.params.selection_use_batch,
             parallel_workers=self.params.parallel_workers,
             parallel_recovery=self.params.parallel_recovery_policy(),
+            parallel_transport=self.params.parallel_transport,
+            parallel_min_pairs=self.params.parallel_min_slab_pairs,
         )
         charge = context.selection_charge_callback("hash-selection") if context else None
         target = self.params.cost_target(ell, global_nodes)
@@ -195,7 +197,20 @@ class Partition:
         # way.
         restricted: Optional[List[PaletteAssignment]] = None
         if use_batch:
-            classification, restricted = cost.classify_selected(h1, h2)
+            scorer = None
+            if self.params.parallel_workers > 1:
+                from repro.parallel.executor import parallel_many_scorer
+
+                # Reuses the selection's warm pool (same registry key), so the
+                # post-selection classification shards ride for free.
+                scorer = parallel_many_scorer(
+                    cost,
+                    self.params.parallel_workers,
+                    policy=self.params.parallel_recovery_policy(),
+                    transport=self.params.parallel_transport,
+                    min_pairs=self.params.parallel_min_slab_pairs,
+                )
+            classification, restricted = cost.classify_selected(h1, h2, scorer=scorer)
         else:
             classification = classify_partition(
                 graph, palettes, h1, h2, self.params, ell, global_nodes

@@ -169,6 +169,16 @@ class HashPairSelector:
         pool's self-healing (shard retries, per-shard timeout, circuit
         breaker); ``None`` keeps the pool's current policy.  Irrelevant
         when ``parallel_workers == 1``.
+    parallel_transport:
+        Payload transport across the process boundary: ``None`` defaults
+        through ``REPRO_PARALLEL_TRANSPORT`` to ``shm`` (zero-copy
+        shared-memory segments); ``pickle`` keeps the queue-borne
+        encoding.  Bit-identical either way.
+    parallel_min_pairs:
+        Explicit engagement floor — slabs smaller than this stay
+        in-process.  ``None`` (default) resolves adaptively
+        (:func:`repro.parallel.executor.resolve_min_pairs`): on hosts
+        without a second usable core the pool is not engaged at all.
     """
 
     def __init__(
@@ -187,6 +197,8 @@ class HashPairSelector:
         use_batch: bool = True,
         parallel_workers: int = 1,
         parallel_recovery=None,
+        parallel_transport=None,
+        parallel_min_pairs=None,
     ) -> None:
         if chunk_bits < 1:
             raise ConfigurationError("chunk_bits must be positive")
@@ -211,6 +223,8 @@ class HashPairSelector:
         self.use_batch = use_batch
         self.parallel_workers = parallel_workers
         self.parallel_recovery = parallel_recovery
+        self.parallel_transport = parallel_transport
+        self.parallel_min_pairs = parallel_min_pairs
 
     # ------------------------------------------------------------------
     # public API
@@ -430,7 +444,11 @@ class HashPairSelector:
             from repro.parallel.executor import parallel_many_scorer
 
             scorer = parallel_many_scorer(
-                cost, self.parallel_workers, policy=self.parallel_recovery
+                cost,
+                self.parallel_workers,
+                policy=self.parallel_recovery,
+                transport=self.parallel_transport,
+                min_pairs=self.parallel_min_pairs,
             )
             if scorer is not None:
                 # Sharded scoring returns the exact `many` value vector, so

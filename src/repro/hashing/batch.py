@@ -372,9 +372,12 @@ class BatchCostEvaluatorBase:
         the arrays once from the instance state — the parallel layer
         (:mod:`repro.parallel.slabs`) ships evaluators once per Partition
         level, so each worker pays that preparation once, not per slab.
+        A shared-memory segment handle likewise never crosses a pickle
+        boundary.
         """
         state = self.__dict__.copy()
         state["_prep"] = None
+        state.pop("_shm_segment", None)
         return state
 
     @property
@@ -401,6 +404,35 @@ class BatchCostEvaluatorBase:
     def _many_slab(self, pairs, prep: dict) -> List[float]:
         raise NotImplementedError
 
+    # -- zero-copy transport hooks --------------------------------------
+    def shared_payload(self):
+        """``(state, arrays)`` for the shared-memory evaluator envelope,
+        or ``None`` when this evaluator cannot export its static arrays
+        (non-integer node ids, colors beyond ``int64``, ...) and must ship
+        as a pickle.  ``state`` must be picklable; ``arrays`` is a dict of
+        NumPy arrays published once into a segment
+        (:func:`repro.parallel.slabs.publish_evaluator`)."""
+        return None
+
+    @classmethod
+    def from_shared_payload(cls, state, arrays):
+        """Rebuild a worker-side evaluator whose ``_prep`` views point
+        directly into an attached shared-memory segment (zero copies).
+        Subclasses that return a payload from :meth:`shared_payload` must
+        implement the inverse here."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not support the shared-memory transport"
+        )
+
+    def phase_shard(self, phase: str, h1, h2, start: int, stop: int) -> List[float]:
+        """Raw per-item count vectors of one post-selection *phase* shard,
+        concatenated, for items ``[start, stop)`` — exact integers as
+        floats, so the parent's reassembly is bit-identical to its own
+        serial pass.  Subclasses opt in per phase name."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no sharded phase {phase!r}"
+        )
+
     # -- shared machinery -----------------------------------------------
     def many(self, pairs) -> List[float]:
         """Costs for a batch of pairs, bit-identical to the scalar path.
@@ -414,7 +446,9 @@ class BatchCostEvaluatorBase:
         if not pairs:
             return []
         prep = self._prep
-        if prep is None or self._prep_is_stale(prep):
+        # Shared-memory-restored evaluators carry views instead of a live
+        # graph; their prep is immutable by construction, never stale.
+        if prep is None or (not prep.get("_shared") and self._prep_is_stale(prep)):
             prep = self._prepare()
         slab = max(1, self.MAX_ELEMENTS // max(1, self._slab_entries(prep)))
         costs: List[float] = []

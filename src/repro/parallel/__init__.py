@@ -8,7 +8,8 @@ processes while keeping every outcome bit-identical to the in-process path:
 
 * :mod:`repro.parallel.planner` — deterministic contiguous shard plans,
 * :mod:`repro.parallel.slabs` — what crosses the process boundary (compact
-  pair payloads per slab; the evaluator envelope once per level),
+  pair payloads per slab; the evaluator envelope once per level; the
+  zero-copy shared-memory segment codec and lifecycle registry),
 * :mod:`repro.parallel.executor` — the long-lived self-healing worker pool
   (shard retry, in-place respawn, in-process rescue, circuit breaker) and
   the ``pairs -> values`` scorer the selection strategies call,
@@ -24,14 +25,18 @@ Entry point for users: the ``parallel_workers`` knob on
 """
 
 from repro.parallel.executor import (
+    MIN_PAIRS_ENV,
+    TRANSPORT_ENV,
     CircuitBreaker,
     ParallelSlabScorer,
     RecoveryPolicy,
     SlabExecutor,
+    effective_cpu_count,
     get_executor,
     parallel_many_scorer,
     pool_health,
     reset_pool_health,
+    resolve_min_pairs,
     shutdown_executors,
 )
 from repro.parallel.faults import (
@@ -44,10 +49,13 @@ from repro.parallel.faults import (
 )
 from repro.parallel.planner import plan_shards, shard_slices
 from repro.parallel.slabs import (
+    SEGMENT_PREFIX,
     decode_evaluator,
     decode_slab,
     encode_evaluator,
     encode_slab,
+    shared_memory_available,
+    unlink_all_segments,
 )
 
 __all__ = [
@@ -57,11 +65,15 @@ __all__ = [
     "FAULT_PLAN_ENV",
     "FaultPlan",
     "FaultSpec",
+    "MIN_PAIRS_ENV",
     "ParallelSlabScorer",
     "RecoveryPolicy",
+    "SEGMENT_PREFIX",
     "SlabExecutor",
+    "TRANSPORT_ENV",
     "decode_evaluator",
     "decode_slab",
+    "effective_cpu_count",
     "encode_evaluator",
     "encode_slab",
     "get_executor",
@@ -70,6 +82,9 @@ __all__ = [
     "plan_shards",
     "pool_health",
     "reset_pool_health",
+    "resolve_min_pairs",
     "shard_slices",
+    "shared_memory_available",
     "shutdown_executors",
+    "unlink_all_segments",
 ]

@@ -56,10 +56,24 @@ only for the truly unrecoverable cases — a closed pool, or a respawn the
 host refuses (:class:`repro.errors.WorkerCrashError`).  Fault injection for
 tests and CI lives in :mod:`repro.parallel.faults`.
 
-Pools are cached per worker count (:func:`get_executor`); dead workers are
-respawned on lookup and pools are torn down at interpreter exit.
-``workers=1`` never reaches this module — the selector keeps its
+Pools are cached per (worker count, start method) (:func:`get_executor`);
+dead workers are respawned on lookup and pools are torn down at interpreter
+exit.  ``workers=1`` never reaches this module — the selector keeps its
 zero-overhead in-process path.
+
+Transport and engagement
+------------------------
+Under the default ``shm`` transport (see :mod:`repro.parallel.slabs`) the
+evaluator envelope's static arrays and each job's coefficient matrices move
+through named shared-memory segments; the queues carry only small control
+tuples, and :class:`~repro.accounting.PoolHealth` splits the volume into
+``bytes_shipped`` (pickled, per worker) vs ``bytes_shared`` (published
+once).  Engagement is adaptive: :func:`resolve_min_pairs` disables the pool
+outright on hosts without a second usable core (``REPRO_PARALLEL_MIN_PAIRS``
+overrides, ``0`` forcing engagement) so ``parallel_workers > 1`` is never a
+slowdown.  :meth:`SlabExecutor.run_phase` extends the same shard/retry/
+rescue machinery to the post-selection phases (final classification,
+low-space outcome), sharding their per-node count vectors by node range.
 """
 
 from __future__ import annotations
@@ -99,6 +113,18 @@ MIN_PARALLEL_PAIRS = 32
 #: Environment variable forcing the multiprocessing start method (the chaos
 #: CI job runs the fault suite under both ``fork`` and ``spawn``).
 START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+#: Environment override for the adaptive engagement floor: an integer slab
+#: size (``0`` = always engage the pool).  Takes precedence over both the
+#: ``parallel_min_slab_pairs`` knob and the cpu-count heuristic — tests and
+#: CI use it to exercise the pool on single-core hosts.
+MIN_PAIRS_ENV = "REPRO_PARALLEL_MIN_PAIRS"
+
+#: Environment override for the payload transport: ``shm`` (default) or
+#: ``pickle`` (the PR-5 behaviour, kept as a differential reference).
+TRANSPORT_ENV = "REPRO_PARALLEL_TRANSPORT"
+
+_TRANSPORTS = ("shm", "pickle")
 
 _TOKEN_COUNTER = itertools.count(1)
 _TOKEN_ATTR = "_parallel_token"
@@ -180,11 +206,87 @@ def _preferred_start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
+def effective_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores even inside an
+    affinity/cgroup-limited container; the scheduler affinity mask is the
+    truthful bound where the platform exposes it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_min_pairs(
+    num_workers: int, explicit: Optional[int] = None
+) -> Optional[int]:
+    """The slab-size floor below which scoring stays in-process, or
+    ``None`` when the pool should not engage at all.
+
+    Precedence: the ``REPRO_PARALLEL_MIN_PAIRS`` override (``0`` = always
+    engage), then the explicit ``parallel_min_slab_pairs`` knob, then the
+    adaptive default — ``None`` on hosts without a second usable core
+    (where worker processes can only lose wall-clock), else
+    ``max(2 * workers, MIN_PARALLEL_PAIRS)``.
+    """
+    raw = os.environ.get(MIN_PAIRS_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{MIN_PAIRS_ENV} must be an integer, got {raw!r}"
+            ) from None
+        if value < 0:
+            raise ConfigurationError(f"{MIN_PAIRS_ENV} must be >= 0")
+        return value
+    if explicit is not None:
+        return explicit
+    if effective_cpu_count() < 2:
+        return None
+    return max(2 * num_workers, MIN_PARALLEL_PAIRS)
+
+
+def _resolve_transport(transport: Optional[str] = None) -> str:
+    """Validate/default the payload transport (knob, env, platform)."""
+    if transport is None:
+        transport = os.environ.get(TRANSPORT_ENV, "").strip() or "shm"
+    if transport not in _TRANSPORTS:
+        raise ConfigurationError(
+            f"parallel transport must be one of {_TRANSPORTS}, got {transport!r}"
+        )
+    if transport == "shm" and not slabs.shared_memory_available():
+        return "pickle"  # pragma: no cover - platform without shm
+    return transport
+
+
 class _LoadFailure:
     """Worker-side marker: the evaluator envelope failed to unpickle."""
 
     def __init__(self, message: str) -> None:
         self.message = message
+
+
+def _release_evaluator(evaluator) -> None:
+    """Worker-side: detach an evicted evaluator's shared-memory segment."""
+    segment = getattr(evaluator, "_shm_segment", None)
+    if segment is not None:
+        evaluator._shm_segment = None
+        slabs.release_attached(segment, evaluator)
+
+
+def _score_payload(evaluator, payload) -> List[float]:
+    """Worker-side payload dispatch: slab (shm or inline) or phase shard."""
+    tag = payload[0] if isinstance(payload, tuple) and payload else None
+    if tag == "shmslab":
+        return [float(v) for v in evaluator.many(slabs.open_slab_shard(payload))]
+    if tag == "phase":
+        _, phase, pair_payload, start, stop = payload
+        h1, h2 = slabs.decode_slab(pair_payload)[0]
+        return [float(v) for v in evaluator.phase_shard(phase, h1, h2, start, stop)]
+    return [float(v) for v in evaluator.many(slabs.decode_slab(payload))]
 
 
 def _worker_main(
@@ -208,7 +310,7 @@ def _worker_main(
         if kind == "load":
             _, token, envelope = task
             try:
-                cache[token] = slabs.decode_evaluator(envelope)
+                cache[token] = slabs.restore_evaluator(envelope)
             except BaseException as exc:  # noqa: BLE001 - reported on use
                 cache[token] = _LoadFailure(f"evaluator failed to load: {exc!r}")
             cache.move_to_end(token)
@@ -217,7 +319,8 @@ def _worker_main(
             # cache, so all workers — and the parent's mirror of this
             # window (SlabExecutor._loaded_tokens) — evict identically.
             while len(cache) > WORKER_CACHE_SIZE:
-                cache.popitem(last=False)
+                _, evicted = cache.popitem(last=False)
+                _release_evaluator(evicted)
             continue
         _, token, job, shard, payload = task
         fault = injector.next_fault()
@@ -242,8 +345,7 @@ def _worker_main(
                 )
             if isinstance(evaluator, _LoadFailure):
                 raise ParallelExecutionError(evaluator.message)
-            pairs = slabs.decode_slab(payload)
-            values = [float(v) for v in evaluator.many(pairs)]
+            values = _score_payload(evaluator, payload)
             if fault is not None and fault.kind == "garble":
                 values = values[:-1]
             result_queue.put(("ok", job, shard, token, values))
@@ -307,12 +409,14 @@ class SlabExecutor:
         start_method: Optional[str] = None,
         policy: Optional[RecoveryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        transport: Optional[str] = None,
     ) -> None:
         if num_workers < 2:
             raise ConfigurationError(
                 "SlabExecutor needs at least 2 workers; workers=1 stays in-process"
             )
         self.num_workers = num_workers
+        self.transport = _resolve_transport(transport)
         self.policy = policy if policy is not None else RecoveryPolicy()
         self.health = PoolHealth()
         self.breaker = CircuitBreaker(self)
@@ -332,7 +436,7 @@ class SlabExecutor:
         # keeps "is it still loaded over there?" answerable without a round
         # trip, and keeping the envelopes lets a respawned replacement
         # worker be brought up to date without re-pickling anything.
-        self._loaded_tokens: "OrderedDict[int, bytes]" = OrderedDict()
+        self._loaded_tokens: "OrderedDict[int, tuple]" = OrderedDict()
         self._jobs = itertools.count(1)
         self._closed = False
         for index in range(num_workers):
@@ -423,7 +527,11 @@ class SlabExecutor:
         per-shard cost vectors in shard order — the result equals
         ``evaluator.many(pairs)`` exactly, whether a shard was answered on
         the first attempt, retried on another worker, or rescued
-        in-process.  Raises only if the pool is closed.
+        in-process.  Under the ``shm`` transport the slab's coefficient
+        matrices live in one job-scoped shared-memory segment (unlinked
+        when the job completes); slabs that cannot be published (primes
+        beyond ``int64``) ship inline as before.  Raises only if the pool
+        is closed.
         """
         pairs = list(pairs)
         if not pairs:
@@ -432,6 +540,99 @@ class SlabExecutor:
             raise ParallelExecutionError("executor is closed")
         token = self._ensure_loaded(evaluator)
         shards = plan_shards(len(pairs), self.num_workers)
+        slab = slabs.publish_slab(pairs) if self.transport == "shm" else None
+        if slab is not None:
+            self._health_bump("bytes_shared", slab.nbytes)
+            coeff_words = 0
+        else:
+            h1_ref, h2_ref = pairs[0]
+            coeff_words = len(h1_ref.coefficients) + len(h2_ref.coefficients)
+
+        def build_payload(shard_index: int):
+            start, stop = shards[shard_index]
+            if slab is not None:
+                return slab.shard_payload(start, stop)
+            self._health_bump("bytes_shipped", 8 * coeff_words * (stop - start))
+            return slabs.encode_slab(pairs[start:stop])
+
+        def rescue(shard_index: int) -> List[float]:
+            start, stop = shards[shard_index]
+            return [float(v) for v in evaluator.many(pairs[start:stop])]
+
+        def expected_len(shard_index: int) -> int:
+            start, stop = shards[shard_index]
+            return stop - start
+
+        try:
+            per_shard = self._run_shards(
+                token, shards, build_payload, rescue, expected_len
+            )
+        finally:
+            if slab is not None:
+                slabs.unlink_segment(slab.name)
+        values_out: List[float] = []
+        for shard_values in per_shard:
+            values_out.extend(shard_values)
+        return values_out
+
+    def run_phase(
+        self,
+        evaluator,
+        phase: str,
+        h1,
+        h2,
+        num_items: int,
+        values_per_item: int = 2,
+    ) -> List[List[float]]:
+        """Shard one post-selection phase across the pool by item range.
+
+        Workers call ``evaluator.phase_shard(phase, h1, h2, start, stop)``
+        on their range and reply with the concatenated per-part count
+        vectors; the parent reassembles ``values_per_item`` full-length
+        vectors in item order.  Same retry/respawn/rescue machinery as
+        :meth:`score_slab` — a failed shard is recomputed in-process via
+        the parent evaluator's own ``phase_shard`` — so the result is
+        bit-identical to the serial pass.  Raises only if the pool is
+        closed.
+        """
+        if num_items <= 0:
+            return [[] for _ in range(values_per_item)]
+        if self._closed:
+            raise ParallelExecutionError("executor is closed")
+        token = self._ensure_loaded(evaluator)
+        shards = plan_shards(num_items, self.num_workers)
+        pair_payload = slabs.encode_slab([(h1, h2)])
+
+        def build_payload(shard_index: int):
+            start, stop = shards[shard_index]
+            return ("phase", phase, pair_payload, start, stop)
+
+        def rescue(shard_index: int) -> List[float]:
+            start, stop = shards[shard_index]
+            return [float(v) for v in evaluator.phase_shard(phase, h1, h2, start, stop)]
+
+        def expected_len(shard_index: int) -> int:
+            start, stop = shards[shard_index]
+            return values_per_item * (stop - start)
+
+        per_shard = self._run_shards(
+            token, shards, build_payload, rescue, expected_len
+        )
+        parts: List[List[float]] = [[] for _ in range(values_per_item)]
+        for shard_index, (start, stop) in enumerate(shards):
+            width = stop - start
+            values = per_shard[shard_index]
+            for part in range(values_per_item):
+                parts[part].extend(values[part * width : (part + 1) * width])
+        return parts
+
+    def _run_shards(
+        self, token, shards, build_payload, compute_in_process, expected_len
+    ) -> List[List[float]]:
+        """Dispatch/collect one job's shards with retry, respawn and
+        in-process rescue; returns the per-shard value vectors in shard
+        order.  ``compute_in_process`` is the bit-identical last resort run
+        by the parent when a shard exhausts its retries."""
         job = next(self._jobs)
         policy = self.policy
         collected: Dict[int, List[float]] = {}
@@ -440,17 +641,12 @@ class SlabExecutor:
         pending: Dict[int, Tuple[int, float]] = {}
 
         def rescue(shard_index: int) -> None:
-            start, stop = shards[shard_index]
-            collected[shard_index] = [
-                float(v) for v in evaluator.many(pairs[start:stop])
-            ]
+            collected[shard_index] = compute_in_process(shard_index)
             self._health_bump("in_process_rescues")
 
         def dispatch(shard_index: int, worker_index: int) -> None:
-            start, stop = shards[shard_index]
-            payload = slabs.encode_slab(pairs[start:stop])
             self._task_queues[worker_index].put(
-                ("score", token, job, shard_index, payload)
+                ("score", token, job, shard_index, build_payload(shard_index))
             )
             pending[shard_index] = (
                 worker_index,
@@ -489,7 +685,7 @@ class SlabExecutor:
                 reply = None
             if reply is not None:
                 shard_index, values, failure = self._parse_reply(
-                    reply, job, token, shards, pending
+                    reply, job, token, expected_len, pending
                 )
                 if shard_index is not None:
                     if failure is None:
@@ -509,25 +705,32 @@ class SlabExecutor:
                 self._health_bump("shard_timeouts")
                 fail_attempt(shard_index)
 
-        values_out: List[float] = []
-        for shard_index in range(len(shards)):
-            values_out.extend(collected[shard_index])
-        return values_out
+        return [collected[shard_index] for shard_index in range(len(shards))]
 
     def _ensure_loaded(self, evaluator) -> int:
         token = self._token_of(evaluator)
         if token not in self._loaded_tokens:
-            envelope = slabs.encode_evaluator(evaluator)
+            envelope = slabs.publish_evaluator(evaluator, self.transport)
+            shipped, shared = slabs.envelope_cost(envelope)
+            # The pickled part of the envelope crosses the queue once per
+            # worker; the shared part is published once, period.
+            self._health_bump("bytes_shipped", shipped * self.num_workers)
+            if shared:
+                self._health_bump("bytes_shared", shared)
             for task_queue in self._task_queues:
                 task_queue.put(("load", token, envelope))
             self._loaded_tokens[token] = envelope
             while len(self._loaded_tokens) > WORKER_CACHE_SIZE:
                 # The workers evict the same oldest-shipped token on this
-                # load; a later slab for it will simply re-ship.
-                self._loaded_tokens.popitem(last=False)
+                # load; a later slab for it will simply re-ship.  The
+                # evicted envelope's segment has no consumer left either —
+                # unlink it now rather than at close.
+                _, evicted = self._loaded_tokens.popitem(last=False)
+                for name in slabs.envelope_segments(evicted):
+                    slabs.unlink_segment(name)
         return token
 
-    def _parse_reply(self, reply, job, token, shards, pending):
+    def _parse_reply(self, reply, job, token, expected_len, pending):
         """Validate one reply; returns ``(shard, values, failure_counter)``.
 
         ``(None, None, None)`` means the reply was stale (an older job, or
@@ -551,7 +754,7 @@ class SlabExecutor:
             return None, None, None
         if kind == "error":
             return shard_index, None, "error_replies"
-        start, stop = shards[shard_index]
+        required = expected_len(shard_index)
         try:
             if reply_token != token:
                 raise ShardIntegrityError(
@@ -559,10 +762,10 @@ class SlabExecutor:
                     f"{reply_token!r} != {token!r}"
                 )
             values = [float(v) for v in data]
-            if len(values) != stop - start:
+            if len(values) != required:
                 raise ShardIntegrityError(
-                    f"shard {shard_index} replied {len(values)} values "
-                    f"for {stop - start} pairs"
+                    f"shard {shard_index} replied {len(values)} values, "
+                    f"expected {required}"
                 )
         except (ShardIntegrityError, TypeError, ValueError):
             return shard_index, None, "integrity_failures"
@@ -591,6 +794,12 @@ class SlabExecutor:
         for task_queue in self._task_queues:
             self._close_queue(task_queue)
         self._close_queue(self._result_queue)
+        # The workers are gone; this pool's envelope segments have no
+        # consumer left and are unlinked here (atexit is only the backstop).
+        for envelope in self._loaded_tokens.values():
+            for name in slabs.envelope_segments(envelope):
+                slabs.unlink_segment(name)
+        self._loaded_tokens.clear()
 
     @staticmethod
     def _close_queue(q) -> None:
@@ -621,36 +830,51 @@ class SlabExecutor:
 # ----------------------------------------------------------------------
 # process-wide pool registry
 # ----------------------------------------------------------------------
-_EXECUTORS: Dict[int, SlabExecutor] = {}
+_EXECUTORS: Dict[Tuple[int, str], SlabExecutor] = {}
 
 
 def get_executor(
-    num_workers: int, policy: Optional[RecoveryPolicy] = None
+    num_workers: int,
+    policy: Optional[RecoveryPolicy] = None,
+    transport: Optional[str] = None,
 ) -> SlabExecutor:
-    """The shared pool for ``num_workers``, (re)spawned lazily.
+    """The shared pool for ``num_workers`` under the current start method,
+    (re)spawned lazily.
 
     Pools persist across selections and Partition levels so workers are
     spawned once per process; dead workers are respawned in place rather
-    than tearing the pool down.  A pool is rebuilt only when it was closed
-    or when the ``REPRO_FAULT_PLAN`` environment hook changed (a new chaos
-    scenario must reach fresh workers).  A caller-supplied ``policy``
-    updates the pool's recovery knobs in place.
+    than tearing the pool down.  The registry is keyed on (worker count,
+    start method): a pool spawned under ``fork`` is never silently reused
+    after ``REPRO_PARALLEL_START_METHOD`` asks for ``spawn``.  A cached
+    pool is rebuilt when it was closed or when the ``REPRO_FAULT_PLAN``
+    environment hook changed (a new chaos scenario must reach fresh
+    workers).  A caller-supplied ``policy``/``transport`` updates the
+    pool's knobs in place.
     """
     import os as os_module
 
     env_plan = os_module.environ.get("REPRO_FAULT_PLAN", "").strip() or None
-    executor = _EXECUTORS.get(num_workers)
+    start_method = _preferred_start_method()
+    key = (num_workers, start_method)
+    executor = _EXECUTORS.get(key)
     if executor is not None and (
         executor._closed or executor._fault_plan_json != env_plan
     ):
         executor.close()
         executor = None
     if executor is None:
-        executor = SlabExecutor(num_workers, policy=policy)
-        _EXECUTORS[num_workers] = executor
+        executor = SlabExecutor(
+            num_workers,
+            start_method=start_method,
+            policy=policy,
+            transport=transport,
+        )
+        _EXECUTORS[key] = executor
     else:
         if policy is not None:
             executor.policy = policy
+        if transport is not None:
+            executor.transport = _resolve_transport(transport)
         executor.ensure_workers()
     return executor
 
@@ -669,14 +893,15 @@ class ParallelSlabScorer:
     """``pairs -> values`` adapter the selection strategies call.
 
     Drop-in for the evaluator's bound ``many``: slabs below the IPC
-    break-even (``min_pairs``, defaulting to
-    ``max(2 * workers, MIN_PARALLEL_PAIRS)``) are scored in-process;
-    larger slabs go through the pool.  The pool self-heals around worker
-    failures, and the executor's circuit breaker demotes scoring to the
-    in-process path after repeated pool-level failures (with a cool-down
-    re-probe), so a degraded host gracefully converges to exactly the
-    single-process behaviour.  Every path returns the exact ``many``
-    values, so none of this ever affects the selected pair.
+    break-even (``min_pairs``, resolved by :func:`resolve_min_pairs` —
+    ``None`` disables the pool outright on hosts without a second usable
+    core) are scored in-process; larger slabs go through the pool.  The
+    pool self-heals around worker failures, and the executor's circuit
+    breaker demotes scoring to the in-process path after repeated
+    pool-level failures (with a cool-down re-probe), so a degraded host
+    gracefully converges to exactly the single-process behaviour.  Every
+    path returns the exact ``many`` values, so none of this ever affects
+    the selected pair.
     """
 
     def __init__(
@@ -684,15 +909,11 @@ class ParallelSlabScorer:
     ) -> None:
         self.cost = cost
         self.executor = executor
-        self.min_pairs = (
-            min_pairs
-            if min_pairs is not None
-            else max(2 * executor.num_workers, MIN_PARALLEL_PAIRS)
-        )
+        self.min_pairs = resolve_min_pairs(executor.num_workers, explicit=min_pairs)
 
     def __call__(self, pairs) -> List[float]:
         pairs = list(pairs)
-        if len(pairs) < self.min_pairs:
+        if self.min_pairs is None or len(pairs) < self.min_pairs:
             return self.cost.many(pairs)
         breaker = self.executor.breaker
         if not breaker.allow():
@@ -714,18 +935,61 @@ class ParallelSlabScorer:
             breaker.record_success()
         return values
 
+    def phase_values(
+        self, phase: str, h1, h2, num_items: int, values_per_item: int = 2
+    ) -> Optional[List[List[float]]]:
+        """Pool-sharded per-item count vectors for one post-selection
+        phase, or ``None`` when the caller should compute them itself
+        (below the engagement floor, breaker open, or unrecoverable pool
+        failure).  Either way the final counts are bit-identical — the
+        pool only moves *where* the bincounts run.
+        """
+        if (
+            self.min_pairs is None
+            or num_items < 2
+            or num_items < self.min_pairs
+        ):
+            return None
+        breaker = self.executor.breaker
+        if not breaker.allow():
+            self.executor._health_bump("breaker_skipped_slabs")
+            return None
+        rescues_before = self.executor.health.in_process_rescues
+        try:
+            parts = self.executor.run_phase(
+                self.cost, phase, h1, h2, num_items, values_per_item
+            )
+        except ParallelExecutionError:
+            self.executor._health_bump("in_process_rescues")
+            breaker.record_failure()
+            return None
+        if self.executor.health.in_process_rescues > rescues_before:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+        return parts
+
 
 def parallel_many_scorer(
-    cost, num_workers: int, policy: Optional[RecoveryPolicy] = None
+    cost,
+    num_workers: int,
+    policy: Optional[RecoveryPolicy] = None,
+    transport: Optional[str] = None,
+    min_pairs: Optional[int] = None,
 ) -> Optional[ParallelSlabScorer]:
-    """A parallel scorer for ``cost``, or ``None`` if it cannot be shipped.
+    """A parallel scorer for ``cost``, or ``None`` if it cannot (or should
+    not) be shipped.
 
     Only the batched cost evaluators (anything deriving from
     :class:`repro.hashing.batch.BatchCostEvaluatorBase`, which guarantees a
     picklable state and a slab-sliced ``many``) cross the process boundary;
-    other ``many``-bearing costs stay on the in-process path.  ``policy``
-    (e.g. from :meth:`ColorReduceParameters.parallel_recovery_policy`)
-    tunes the shared pool's retry/breaker knobs.
+    other ``many``-bearing costs stay on the in-process path.  Returns
+    ``None`` — without spawning anything — when adaptive engagement rules
+    the pool out (:func:`resolve_min_pairs`), so ``parallel_workers > 1``
+    on a single-core host costs nothing at all.  ``policy`` (e.g. from
+    :meth:`ColorReduceParameters.parallel_recovery_policy`) tunes the
+    shared pool's retry/breaker knobs; ``transport``/``min_pairs`` map the
+    ``parallel_transport``/``parallel_min_slab_pairs`` knobs through.
     """
     if num_workers < 2:
         return None
@@ -733,4 +997,10 @@ def parallel_many_scorer(
 
     if not isinstance(cost, BatchCostEvaluatorBase):
         return None
-    return ParallelSlabScorer(cost, get_executor(num_workers, policy=policy))
+    if resolve_min_pairs(num_workers, explicit=min_pairs) is None:
+        return None
+    return ParallelSlabScorer(
+        cost,
+        get_executor(num_workers, policy=policy, transport=transport),
+        min_pairs=min_pairs,
+    )

@@ -72,7 +72,7 @@ def test_skip_rules_cpus_scale_and_gate_flag(tmp_path):
         tmp_path / "base",
         "BENCH_p5.json",
         [
-            _record(op="parallel", speedup=2.0, cpus=1),
+            _record(op="parallel", speedup=2.0, cpus=2),
             _record(op="micro", speedup=9.0, gate=False),
             _record(op="scaled", n=600, speedup=9.0),
             _record(op="stable", speedup=3.0),
@@ -95,6 +95,52 @@ def test_skip_rules_cpus_scale_and_gate_flag(tmp_path):
     assert result.returncode == 0, result.stdout + result.stderr
     assert result.stdout.count("skipped") == 3
     assert "1 record(s) within tolerance" in result.stdout
+
+
+def test_gate_armed_single_cpu_p5_baseline_fails_loudly(tmp_path):
+    """A cpus:1 P5 baseline with the gate armed is the vacuous-gate bug:
+    every multi-core CI run mismatches on cpus and is skipped forever.  It
+    must be rejected at load time, not silently skipped."""
+    _write(
+        tmp_path / "base",
+        "BENCH_p5.json",
+        [_record(op="parallel", speedup=2.0, cpus=1)],
+    )
+    _write(
+        tmp_path / "cur",
+        "BENCH_p5.json",
+        [_record(op="parallel", speedup=2.0, cpus=4)],
+    )
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+    )
+    assert result.returncode == 2
+    assert "Traceback" not in result.stderr
+    assert "1 CPU" in result.stderr and "vacuous" in result.stderr
+
+
+def test_single_cpu_p5_baseline_with_gate_false_is_allowed(tmp_path):
+    """The benchmark's own single-CPU output (every record gate:false) must
+    still load — the opt-out is explicit, so the gate is not silently
+    vacuous, and the min-compared guard reports the emptiness instead."""
+    _write(
+        tmp_path / "base",
+        "BENCH_p5.json",
+        [_record(op="parallel", speedup=1.0, cpus=1, gate=False)],
+    )
+    _write(
+        tmp_path / "cur",
+        "BENCH_p5.json",
+        [_record(op="parallel", speedup=1.0, cpus=1, gate=False)],
+    )
+    result = _run(
+        "--baseline-dir", str(tmp_path / "base"),
+        "--current-dir", str(tmp_path / "cur"),
+        "--min-compared", "0",
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "skipped (gate=false)" in result.stdout
 
 
 def test_vacuous_pass_is_a_failure(tmp_path):
@@ -136,6 +182,21 @@ def test_repo_baselines_exist_for_both_scales():
             "BENCH_p4.json",
             "BENCH_p5.json",
         ], f"committed {scale} baselines incomplete: {files}"
+
+
+def test_committed_p5_baselines_are_not_vacuously_armed():
+    """Regression guard for the bug this repo actually shipped: P5 baselines
+    recorded on a 1-CPU host with the gate still armed, so the CI gate
+    skipped every P5 comparison forever while looking green."""
+    baselines = SCRIPT.parent / "baselines"
+    for scale in ("smoke", "default"):
+        records = json.loads((baselines / scale / "BENCH_p5.json").read_text())
+        for record in records:
+            if record.get("cpus") == 1:
+                assert record.get("gate") is False, (
+                    f"{scale}/BENCH_p5.json op {record['op']!r}: single-CPU "
+                    "baseline must carry \"gate\": false"
+                )
 
 
 def test_truncated_json_is_one_actionable_line(tmp_path):

@@ -66,9 +66,13 @@ class TestCLI:
         assert "--parallel-workers must be at least 1" in capsys.readouterr().err
 
     def test_oversubscribed_workers_warn_but_run(self, capsys, monkeypatch):
-        import os as os_module
+        import repro.cli as cli_module
 
-        monkeypatch.setattr(os_module, "cpu_count", lambda: 2)
+        # The warning keys off the affinity-aware count the CLI imported,
+        # not os.cpu_count (which over-reports inside cgroup-pinned
+        # containers).
+        monkeypatch.setattr(cli_module, "effective_cpu_count", lambda: 2)
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_PAIRS", "2")
         from repro.parallel import shutdown_executors
 
         try:
@@ -84,9 +88,10 @@ class TestCLI:
         assert "pool health:" in captured.out
 
     def test_parallel_run_prints_pool_health(self, capsys, monkeypatch):
-        import os as os_module
+        import repro.cli as cli_module
 
-        monkeypatch.setattr(os_module, "cpu_count", lambda: 8)  # no warning
+        monkeypatch.setattr(cli_module, "effective_cpu_count", lambda: 8)  # no warning
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_PAIRS", "2")
         from repro.parallel import shutdown_executors
 
         try:

@@ -49,10 +49,13 @@ def _tiny_parallel_floor(monkeypatch):
     """Drop the IPC break-even floor so the small test instances genuinely
     exercise multiprocess scoring (production keeps 16-pair batches
     in-process; values are identical either way, but these tests exist to
-    prove the cross-process path bit-exact)."""
+    prove the cross-process path bit-exact).  The env override also pins
+    the adaptive engagement floor: on a single-CPU runner the pool would
+    otherwise never engage at all."""
     from repro.parallel import executor as executor_module
 
     monkeypatch.setattr(executor_module, "MIN_PARALLEL_PAIRS", 2)
+    monkeypatch.setenv(executor_module.MIN_PAIRS_ENV, "2")
 
 
 # ----------------------------------------------------------------------

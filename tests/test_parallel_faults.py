@@ -50,10 +50,13 @@ def _teardown_pools():
 def _tiny_parallel_floor(monkeypatch):
     """Drop the IPC break-even floor so small test slabs genuinely cross the
     process boundary (values are identical either way; these tests exist to
-    prove the recovery paths bit-exact)."""
+    prove the recovery paths bit-exact).  The env override also pins the
+    adaptive engagement floor: on a single-CPU runner the pool would
+    otherwise never engage at all."""
     from repro.parallel import executor as executor_module
 
     monkeypatch.setattr(executor_module, "MIN_PARALLEL_PAIRS", 2)
+    monkeypatch.setenv(executor_module.MIN_PAIRS_ENV, "2")
 
 
 # ----------------------------------------------------------------------
