@@ -3,16 +3,35 @@
 Regenerates the rounds-vs-n table: at a fixed degree the round count of the
 deterministic algorithm must not grow with ``n``, and the recursion depth
 must stay within the paper's bound of 9.
+
+The headline numbers are also emitted as ``BENCH_e1.json`` (``gate:
+false`` — they are claims about the algorithm, not speedups, and the
+assertions below gate them directly); ``check_regression.py --update``
+inventories the file alongside the ``BENCH_p*`` perf records.
 """
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments import run_e1_constant_rounds
 
 
 def test_e1_constant_rounds(benchmark, experiment_scale):
     result = run_once(benchmark, run_e1_constant_rounds, experiment_scale)
+    emit_bench_json(
+        "e1",
+        [
+            {
+                "op": "constant-rounds",
+                "scale": experiment_scale,
+                "max_depth": result.headline["max_depth"],
+                "max_rounds": result.headline["max_rounds"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     assert result.headline["max_depth"] <= 9
     # Constant-round claim: the spread between the largest and smallest round
     # count across the n-sweep is bounded by the per-level constant times the

@@ -1,7 +1,13 @@
-"""E2 — Lemmas 3.11-3.14: recursion depth and instance-size shrinkage."""
+"""E2 — Lemmas 3.11-3.14: recursion depth and instance-size shrinkage.
+
+Headline numbers are also emitted as ``BENCH_e2.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``) so the JSON inventory covers the
+experiment benchmarks, not just the perf family.
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.core.recursion import depth_nine_size_ratio
 from repro.experiments import run_e2_recursion_depth
@@ -9,6 +15,18 @@ from repro.experiments import run_e2_recursion_depth
 
 def test_e2_recursion_depth(benchmark, experiment_scale):
     result = run_once(benchmark, run_e2_recursion_depth, experiment_scale)
+    emit_bench_json(
+        "e2",
+        [
+            {
+                "op": "recursion-depth",
+                "scale": experiment_scale,
+                "max_depth": result.headline["max_depth"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     # Lemma 3.14: measured depth never exceeds 9.
     assert result.headline["max_depth"] <= 9
     # Closed form: the depth-9 bin-size bound is O(n) with the proof's constant.

@@ -1,0 +1,238 @@
+"""P8 — million-node scale: segmented cross-bin kernels, end to end.
+
+Two claims, measured on one large Erdős–Rényi instance:
+
+1. **Level-loop speedup** (the gated record).  With ``FIRST_FEASIBLE``
+   selection every recursing bin of a level scores the same head batch of
+   hash-pair candidates; the per-bin reference pays a scalar head probe
+   plus a batched tail *per bin*, while the segmented kernel layer
+   (:mod:`repro.core.level`) scores all sibling bins in one concatenated
+   pass.  The two paths produce bit-identical cost values (asserted here),
+   and the segmented pass must be at least
+   ``BENCH_P8_REQUIRED_SPEEDUP`` (default 2x) faster at the smoke scale
+   and above.
+
+2. **End-to-end neutrality + determinism** (informational records).  A
+   full ``ColorReduce`` run with ``level_use_batch`` on must produce the
+   *identical* coloring, recursion tree and round ledger as with it off —
+   the prefetch only moves work, never changes outcomes.  Wall-clock and
+   peak RSS are recorded (``gate: false`` — end-to-end time is dominated
+   by stages the flag does not touch, and RSS is a capacity record, not a
+   speedup).
+
+The smoke scale runs ``n = 10^5`` on every push; the default (nightly)
+scale runs ``n = 10^6``, where the flag-off reference would double an
+already long run, so only the flag-on path executes end to end and the
+differential assertions ride the smoke scale.  Results are written to
+``BENCH_p8.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+
+from bench_json import emit_bench_json
+
+from repro.core.classification import partition_cost_function
+from repro.core.color_reduce import ColorReduce
+from repro.core.level import child_salt, head_pairs, prefetch_partition_level
+from repro.core.params import ColorReduceParameters
+from repro.core.partition import Partition
+from repro.graph.generators import erdos_renyi
+from repro.graph.palettes import PaletteAssignment
+
+_SCALES = {
+    # (num nodes, average degree, run the flag-off reference end to end)
+    "smoke": (100_000, 16, True),
+    "default": (1_000_000, 8, False),
+    "full": (1_000_000, 8, False),
+}
+
+#: collect_factor 0.25 forces at least two partitioning levels at these
+#: scales (children of the root are still above the collect threshold), so
+#: the cross-bin prefetch actually engages below the root.
+_PARAMS = dict(num_bins=4, collect_factor=0.25)
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set of this process in MiB (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _tree_signature(node):
+    return (
+        node.depth,
+        node.num_nodes,
+        node.num_edges,
+        node.num_bins,
+        node.num_bad_nodes,
+        node.invariant_violations,
+        tuple(_tree_signature(child) for child in node.children),
+    )
+
+
+def _level_head_scoring(graph, palettes, params, ell, global_nodes, min_children):
+    """Time the per-bin vs segmented head-batch scoring of the root level.
+
+    Returns ``(per_bin_seconds, segmented_seconds)`` after asserting the
+    two paths produced identical cost values for every (bin, candidate).
+    """
+    partition = Partition(params).run(graph, palettes, ell, global_nodes, salt=1)
+    next_ell = params.next_ell(ell)
+    children = [
+        (b.bin_index, child_salt(1, b.bin_index), b.graph, b.palettes)
+        for b in partition.color_bins
+        if not b.is_empty
+    ]
+    assert len(children) >= min_children, (
+        f"expected at least {min_children} non-empty sibling bins, got "
+        f"{len(children)}"
+    )
+    count = min(params.selection_batch_size, params.selection_max_candidates)
+    builder = Partition(params)
+    pairs_of = {
+        key: head_pairs(
+            *builder.build_families(cg, cp, next_ell, global_nodes), salt, count
+        )
+        for key, salt, cg, cp in children
+    }
+
+    started = time.perf_counter()
+    reference = {}
+    for key, _salt, child_graph, child_palettes in children:
+        pairs = pairs_of[key]
+        cost = partition_cost_function(
+            child_graph, child_palettes, params, next_ell, global_nodes
+        )
+        head = cost(*pairs[0])
+        reference[key] = [head] + list(cost.many(pairs[1:]))
+    per_bin_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    prefetched = prefetch_partition_level(children, params, next_ell, global_nodes)
+    segmented_seconds = time.perf_counter() - started
+
+    for key, _salt, _cg, _cp in children:
+        proxy = prefetched[key]
+        values = [proxy(*pair) for pair in pairs_of[key]]
+        assert values == reference[key], (
+            f"segmented head batch diverged from the per-bin reference in "
+            f"bin {key}"
+        )
+    return per_bin_seconds, segmented_seconds
+
+
+def test_p8_end_to_end(benchmark, experiment_scale):
+    num_nodes, avg_degree, run_reference = _SCALES[experiment_scale]
+    graph = erdos_renyi(num_nodes, avg_degree / num_nodes, seed=42)
+    palettes = PaletteAssignment.delta_plus_one(graph)
+    ell = max(float(graph.max_degree()), 1.0)
+
+    params_on = ColorReduceParameters.scaled(**_PARAMS)
+    params_off = ColorReduceParameters.scaled(**_PARAMS, level_use_batch=False)
+
+    # The smoke instance is known to spread the root across >= 2 color bins;
+    # at n = 10^6 the selected pair happens to leave a single (500k-node)
+    # non-empty color bin, which still exercises the segmented layer.
+    per_bin_s, segmented_s = _level_head_scoring(
+        graph, palettes, params_on, ell, graph.num_nodes,
+        min_children=2 if experiment_scale == "smoke" else 1,
+    )
+    level_speedup = per_bin_s / segmented_s
+
+    started = time.perf_counter()
+    result_on = ColorReduce(params_on).run(graph)
+    on_seconds = time.perf_counter() - started
+
+    off_seconds = None
+    if run_reference:
+        started = time.perf_counter()
+        result_off = ColorReduce(params_off).run(graph)
+        off_seconds = time.perf_counter() - started
+        assert result_on.coloring == result_off.coloring, (
+            "level_use_batch changed the coloring"
+        )
+        assert _tree_signature(result_on.recursion_root) == _tree_signature(
+            result_off.recursion_root
+        ), "level_use_batch changed the recursion tree"
+        assert result_on.rounds == result_off.rounds, (
+            "level_use_batch changed the round count"
+        )
+
+    rss_mb = _peak_rss_mb()
+
+    benchmark.extra_info["num_nodes"] = graph.num_nodes
+    benchmark.extra_info["num_edges"] = graph.num_edges
+    benchmark.extra_info["level_speedup"] = round(level_speedup, 2)
+    benchmark.extra_info["e2e_on_s"] = round(on_seconds, 2)
+    benchmark.extra_info["peak_rss_mb"] = round(rss_mb, 1)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    records = [
+        {
+            "op": "level-head-scoring",
+            "n": graph.num_nodes,
+            "scalar_s": round(per_bin_s, 5),
+            "batch_s": round(segmented_s, 5),
+            "speedup": round(level_speedup, 2),
+            "gate": True,
+        },
+        {
+            "op": "peak-rss",
+            "n": graph.num_nodes,
+            "rss_mb": round(rss_mb, 1),
+            "speedup": 0.0,
+            "gate": False,
+        },
+    ]
+    if off_seconds is not None:
+        records.insert(
+            1,
+            {
+                "op": "e2e-colorreduce",
+                "n": graph.num_nodes,
+                "scalar_s": round(off_seconds, 5),
+                "batch_s": round(on_seconds, 5),
+                "speedup": round(off_seconds / on_seconds, 2),
+                "gate": False,
+            },
+        )
+    else:
+        records.insert(
+            1,
+            {
+                "op": "e2e-colorreduce",
+                "n": graph.num_nodes,
+                "batch_s": round(on_seconds, 5),
+                "speedup": 0.0,
+                "gate": False,
+            },
+        )
+    emit_bench_json("p8", records)
+
+    print()
+    print("P8: million-node scale (segmented cross-bin kernels)")
+    print(
+        f"  instance: n={graph.num_nodes} m={graph.num_edges} "
+        f"maxdeg={graph.max_degree()}"
+    )
+    print(
+        f"  level head scoring: per-bin {per_bin_s:8.3f}s vs segmented "
+        f"{segmented_s:8.3f}s ({level_speedup:5.2f}x, bit-identical values)"
+    )
+    if off_seconds is not None:
+        print(
+            f"  end-to-end ColorReduce: flag-off {off_seconds:8.2f}s vs "
+            f"flag-on {on_seconds:8.2f}s (identical coloring/tree/rounds)"
+        )
+    else:
+        print(f"  end-to-end ColorReduce (flag on): {on_seconds:8.2f}s")
+    print(f"  peak RSS: {rss_mb:8.1f} MiB")
+
+    required = float(os.environ.get("BENCH_P8_REQUIRED_SPEEDUP", "2.0"))
+    assert level_speedup >= required, (
+        f"segmented level scoring only {level_speedup:.2f}x faster than the "
+        f"per-bin reference at n={graph.num_nodes} (required {required}x)"
+    )

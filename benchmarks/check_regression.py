@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""CI perf-regression gate over the ``BENCH_p*.json`` records.
+"""CI perf-regression gate over the ``BENCH_*.json`` records.
 
 The ``bench_p*`` benchmarks emit machine-readable perf records (one dict
 per measured op, with a ``speedup`` field — batched/parallel path vs the
@@ -15,9 +15,13 @@ Usage::
     python benchmarks/check_regression.py --tolerance 0.6  # stricter
     python benchmarks/check_regression.py --update         # refresh baselines
 
+The family covers the perf benchmarks (``BENCH_p<k>.json``, gated
+speedups) and the experiment headlines (``BENCH_e<k>.json``, emitted with
+``gate: false`` — inventoried and matched, never failed on their numbers).
+
 Matching and skip rules
 -----------------------
-Records are matched by ``op`` within each ``BENCH_p<k>.json``.  A pair is
+Records are matched by ``op`` within each ``BENCH_*.json``.  A pair is
 *skipped* (reported, never failed) when:
 
 * either record carries ``"gate": false`` — micro-timings and
@@ -192,13 +196,13 @@ def main(argv=None) -> int:
         "--baseline-dir",
         type=Path,
         default=DEFAULT_BASELINE_DIR,
-        help="directory holding the committed baseline BENCH_p*.json files",
+        help="directory holding the committed baseline BENCH_*.json files",
     )
     parser.add_argument(
         "--current-dir",
         type=Path,
         default=REPO_ROOT,
-        help="directory holding the freshly produced BENCH_p*.json files",
+        help="directory holding the freshly produced BENCH_*.json files",
     )
     parser.add_argument(
         "--tolerance",
@@ -222,7 +226,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--update",
         action="store_true",
-        help="copy the current BENCH_p*.json files into the baseline dir",
+        help="copy the current BENCH_*.json files into the baseline dir",
     )
     args = parser.parse_args(argv)
 
@@ -232,13 +236,13 @@ def main(argv=None) -> int:
     if args.update:
         args.baseline_dir.mkdir(parents=True, exist_ok=True)
         copied = 0
-        for current in sorted(args.current_dir.glob("BENCH_p*.json")):
+        for current in sorted(args.current_dir.glob("BENCH_*.json")):
             shutil.copy(current, args.baseline_dir / current.name)
             copied += 1
         print(f"updated {copied} baseline file(s) in {args.baseline_dir}")
         return 0
 
-    baselines = sorted(args.baseline_dir.glob("BENCH_p*.json"))
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
     if not baselines:
         print(f"no baselines found in {args.baseline_dir}", file=sys.stderr)
         return 2

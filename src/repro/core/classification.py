@@ -624,7 +624,10 @@ class PartitionCostEvaluator(BatchCostEvaluatorBase):
         return classification.cost(self.global_nodes)
 
     # -- final classification for the selected pair ---------------------
-    def classify_selected(self, h1: HashFunction, h2: HashFunction, scorer=None):
+    def classify_selected(
+        self, h1: HashFunction, h2: HashFunction, scorer=None,
+        precomputed_counts=None,
+    ):
         """Fused classification + palette restriction for the winning pair.
 
         The post-selection counterpart of :meth:`many`: one more pass over
@@ -646,7 +649,16 @@ class PartitionCostEvaluator(BatchCostEvaluatorBase):
         if prep is None or self._prep_is_stale(prep):
             prep = self._prepare()
         precomputed = None
-        if scorer is not None:
+        if precomputed_counts is not None:
+            # Counts computed elsewhere over the same CSR node order — e.g.
+            # the segmented cross-bin level pass (repro.core.level), which
+            # already produced this pair's (in_bin_degree, in_bin_palette).
+            np = prep["np"]
+            precomputed = (
+                np.asarray(precomputed_counts[0], dtype=np.int64),
+                np.asarray(precomputed_counts[1], dtype=np.int64),
+            )
+        elif scorer is not None:
             parts = scorer.phase_values(
                 "classify", h1, h2, len(prep["csr"].node_ids), 2
             )

@@ -37,9 +37,15 @@ from typing import Dict, List, Optional
 from repro.accounting import CostLedger, PoolHealth
 from repro.congested_clique.model import CongestedCliqueSimulator
 from repro.core.context import CongestedCliqueContext, ExecutionContext
+from repro.core.level import (
+    LEVEL_PREFETCH_MIN_SIZE,
+    child_salt,
+    prefetch_partition_level,
+)
 from repro.core.local_coloring import greedy_list_coloring
 from repro.core.params import ColorReduceParameters
 from repro.core.partition import Partition, PartitionResult
+from repro.derand.conditional_expectation import SelectionStrategy
 from repro.errors import InvariantViolationError, PaletteError, ReproError
 from repro.graph.graph import Graph
 from repro.graph.palettes import PaletteAssignment
@@ -198,7 +204,7 @@ class ColorReduce:
 
             health_baseline = pool_health()
         coloring, ledger, tree = self._color_reduce(
-            graph, palettes.copy(), ell, depth=0, state=state
+            graph, palettes.copy(), ell, depth=0, state=state, salt=1
         )
         run_health = PoolHealth()
         if health_baseline is not None:
@@ -230,7 +236,19 @@ class ColorReduce:
         ell: float,
         depth: int,
         state: "_RunState",
+        salt: int = 1,
+        prefetched=None,
     ) -> tuple[Dict[NodeId, Color], CostLedger, RecursionNode]:
+        """One node of the recursion.
+
+        ``salt`` is the call's *positional* identity — the root gets 1 and
+        each child derives its own via :func:`repro.core.level.child_salt`
+        from the parent's salt and the child's bin index.  Unlike a
+        depth-first counter, a child's salt is known the moment its bin
+        index is, which is what lets the parent prefetch the whole level's
+        head-batch scores in one segmented pass (``prefetched`` then
+        carries this instance's :class:`~repro.core.level.CachedPairCost`).
+        """
         ledger = CostLedger()
         size = graph.size()
         node = RecursionNode(
@@ -267,14 +285,14 @@ class ColorReduce:
             )
 
         # --- Partition(G, l) -------------------------------------------------
-        state.partition_counter += 1
         partition = Partition(self.params).run(
             graph,
             palettes,
             ell,
             state.global_nodes,
             context=state.context,
-            salt=state.partition_counter,
+            salt=salt,
+            cost=prefetched,
         )
         node.num_bins = partition.num_bins
         node.num_bad_nodes = partition.num_bad_nodes
@@ -298,13 +316,48 @@ class ColorReduce:
         next_ell = self.params.next_ell(ell)
         coloring: Dict[NodeId, Color] = {}
 
+        # --- segmented cross-bin prefetch (repro.core.level) -----------------
+        # Score every recursing color bin's head batch of hash-pair
+        # candidates in one segmented pass before descending.  Best-effort:
+        # a failure (or a bin the predicate mispredicts) simply falls back
+        # to the per-bin evaluator inside the child's Partition call, with
+        # bit-identical selections either way.
+        prefetched_costs: Dict[int, object] = {}
+        if self._level_prefetch_enabled():
+            eligible = [
+                (
+                    bin_instance.bin_index,
+                    child_salt(salt, bin_instance.bin_index),
+                    bin_instance.graph,
+                    bin_instance.palettes,
+                )
+                for bin_instance in partition.color_bins
+                if bin_instance.graph.size() >= LEVEL_PREFETCH_MIN_SIZE
+                and self._will_partition(
+                    bin_instance.graph, bin_instance.palettes, depth + 1, state
+                )
+            ]
+            if eligible:
+                try:
+                    prefetched_costs = prefetch_partition_level(
+                        eligible, self.params, next_ell, state.global_nodes
+                    )
+                except Exception:  # pragma: no cover - prefetch is best-effort
+                    prefetched_costs = {}
+
         # --- color bins recurse in parallel ---------------------------------
         parallel_ledger: Optional[CostLedger] = None
         for bin_instance in partition.color_bins:
             if bin_instance.is_empty:
                 continue
             child_coloring, child_ledger, child_node = self._color_reduce(
-                bin_instance.graph, bin_instance.palettes, next_ell, depth + 1, state
+                bin_instance.graph,
+                bin_instance.palettes,
+                next_ell,
+                depth + 1,
+                state,
+                salt=child_salt(salt, bin_instance.bin_index),
+                prefetched=prefetched_costs.get(bin_instance.bin_index),
             )
             coloring.update(child_coloring)
             node.children.append(child_node)
@@ -325,7 +378,12 @@ class ColorReduce:
             )
             ledger.charge("palette-update", update_rounds, removed)
             child_coloring, child_ledger, child_node = self._color_reduce(
-                leftover.graph, leftover_palettes, next_ell, depth + 1, state
+                leftover.graph,
+                leftover_palettes,
+                next_ell,
+                depth + 1,
+                state,
+                salt=child_salt(salt, partition.num_bins - 1),
             )
             coloring.update(child_coloring)
             node.children.append(child_node)
@@ -350,6 +408,42 @@ class ColorReduce:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _level_prefetch_enabled(self) -> bool:
+        """Whether the cross-bin level prefetch applies under these params.
+
+        The segmented pass reproduces exactly the head-batch probes of the
+        single-process, batched ``FIRST_FEASIBLE`` selection; any other
+        configuration (scalar scoring, multiprocess scoring, exhaustive or
+        randomized strategies) keeps the per-bin route.
+        """
+        params = self.params
+        return (
+            params.level_use_batch
+            and params.graph_use_batch
+            and params.selection_use_batch
+            and params.parallel_workers == 1
+            and params.selection_strategy == SelectionStrategy.FIRST_FEASIBLE
+        )
+
+    def _will_partition(
+        self, graph: Graph, palettes: PaletteAssignment, depth: int, state: "_RunState"
+    ) -> bool:
+        """Whether a child instance will reach its own Partition call.
+
+        Mirrors the base-case tests at the top of :meth:`_color_reduce`; a
+        misprediction only wastes (or skips) a prefetch — the child's own
+        run re-derives the truth.
+        """
+        if graph.num_nodes == 0 or graph.num_edges == 0:
+            return False
+        if depth >= self.params.max_recursion_depth:
+            return False
+        if graph.size() <= self.params.collect_threshold(state.global_nodes):
+            words = self._collect_words(graph, palettes, state)
+            if words <= state.context.local_instance_capacity_words():
+                return False
+        return True
+
     def _update_palettes(
         self, palettes: PaletteAssignment, graph: Graph, coloring: Dict[NodeId, Color]
     ) -> int:
@@ -515,21 +609,51 @@ class ColorReduce:
         literal_lemma = not self.params.is_scaled and not self.params.bins_are_clamped(ell)
         violations = 0
         for bin_instance in partition.color_bins:
-            for v in bin_instance.graph.nodes():
-                d_prime = bin_instance.graph.degree(v)
-                p_prime = bin_instance.palettes.palette_size(v)
-                if literal_lemma:
-                    if next_ell >= p_prime:
-                        violations += 1
-                    if d_prime > next_ell + slack:
-                        violations += 1
-                if d_prime >= p_prime:
-                    violations += 1
+            if bin_instance.is_empty:
+                continue
+            store = (
+                bin_instance.palettes.store() if self.params.graph_use_batch else None
+            )
+            if store is None:
+                violations += self._audit_bin_scalar(
+                    bin_instance, next_ell, slack, literal_lemma
+                )
+                continue
+            # Vectorized audit: one comparison sweep per bin over the CSR
+            # degrees and the flat palette sizes (aligned through the
+            # store's row index), identical counts to the scalar loop.
+            import numpy as np
+
+            csr = bin_instance.graph.csr()
+            degrees = csr.degrees
+            sizes = store.sizes()[store.rows_of(csr.node_ids)]
+            if literal_lemma:
+                violations += int(np.count_nonzero(next_ell >= sizes))
+                violations += int(np.count_nonzero(degrees > next_ell + slack))
+            violations += int(np.count_nonzero(degrees >= sizes))
         state.total_invariant_violations += violations
         if violations and state.strict_invariants:
             raise InvariantViolationError(
                 f"{violations} invariant violations in a Partition call at l={ell}"
             )
+        return violations
+
+    @staticmethod
+    def _audit_bin_scalar(
+        bin_instance, next_ell: float, slack: float, literal_lemma: bool
+    ) -> int:
+        """Per-node reference audit of one color bin (see `_audit_invariant`)."""
+        violations = 0
+        for v in bin_instance.graph.nodes():
+            d_prime = bin_instance.graph.degree(v)
+            p_prime = bin_instance.palettes.palette_size(v)
+            if literal_lemma:
+                if next_ell >= p_prime:
+                    violations += 1
+                if d_prime > next_ell + slack:
+                    violations += 1
+            if d_prime >= p_prime:
+                violations += 1
         return violations
 
 
@@ -544,4 +668,3 @@ class _RunState:
     strict_invariants: bool = False
     total_bad_nodes: int = 0
     total_invariant_violations: int = 0
-    partition_counter: int = 0

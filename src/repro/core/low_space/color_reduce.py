@@ -29,6 +29,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.accounting import CostLedger, PoolHealth
+from repro.core.level import (
+    LEVEL_PREFETCH_MIN_SIZE,
+    child_salt,
+    prefetch_low_space_level,
+)
 from repro.core.low_space.mis_reduction import color_via_mis
 from repro.core.low_space.params import LowSpaceParameters
 from repro.core.low_space.partition import LowSpacePartition
@@ -155,7 +160,9 @@ class LowSpaceColorReduce:
             from repro.parallel.executor import pool_health
 
             health_baseline = pool_health()
-        coloring, ledger, tree = self._color_reduce(graph, palettes.copy(), depth=0, state=state)
+        coloring, ledger, tree = self._color_reduce(
+            graph, palettes.copy(), depth=0, state=state, salt=1
+        )
         run_health = PoolHealth()
         if health_baseline is not None:
             from repro.parallel.executor import pool_health
@@ -181,7 +188,17 @@ class LowSpaceColorReduce:
         palettes: PaletteAssignment,
         depth: int,
         state: "_LowSpaceState",
+        salt: int = 1,
+        prefetched=None,
     ) -> tuple[Dict[NodeId, Color], CostLedger, LowSpaceRecursionNode]:
+        """One node of the recursion.
+
+        ``salt`` is the call's positional identity (root 1, children via
+        :func:`repro.core.level.child_salt` on their bin index), which lets
+        the parent prefetch a whole level's head-batch scores in one
+        segmented pass; ``prefetched`` carries this instance's
+        :class:`~repro.core.level.CachedPairCost` when it did.
+        """
         ledger = CostLedger()
         node = LowSpaceRecursionNode(
             depth=depth,
@@ -197,13 +214,13 @@ class LowSpaceColorReduce:
                 "reducing degrees (check the parameters)"
             )
 
-        state.partition_counter += 1
         partition = LowSpacePartition(self.params).run(
             graph,
             palettes,
             global_nodes=state.global_nodes,
             charge=lambda label, rounds: ledger.charge(label, rounds),
-            salt=state.partition_counter,
+            salt=salt,
+            cost=prefetched,
         )
         node.num_bins = partition.num_bins
         node.low_degree_nodes = partition.low_degree_graph.num_nodes
@@ -225,6 +242,33 @@ class LowSpaceColorReduce:
         def made_progress(child_graph: Graph) -> bool:
             return child_graph.num_nodes < graph.num_nodes
 
+        # --- segmented cross-bin prefetch (repro.core.level) -----------------
+        # Score every recursing bin's head batch of hash-pair candidates in
+        # one segmented pass before descending (children whose nodes are all
+        # low-degree are skipped inside the prefetch — their Partition call
+        # takes the trivial path).  Best-effort: any failure falls back to
+        # the per-bin evaluators with bit-identical selections.
+        prefetched_costs: Dict[int, object] = {}
+        if self._level_prefetch_enabled() and depth + 1 < self.params.max_recursion_depth:
+            eligible = [
+                (
+                    bin_instance.bin_index,
+                    child_salt(salt, bin_instance.bin_index),
+                    bin_instance.graph,
+                    bin_instance.palettes,
+                )
+                for bin_instance in partition.color_bins
+                if bin_instance.graph.size() >= LEVEL_PREFETCH_MIN_SIZE
+                and made_progress(bin_instance.graph)
+            ]
+            if eligible:
+                try:
+                    prefetched_costs = prefetch_low_space_level(
+                        eligible, self.params, state.global_nodes
+                    )
+                except Exception:  # pragma: no cover - prefetch is best-effort
+                    prefetched_costs = {}
+
         # --- color bins recurse in parallel ---------------------------------
         parallel_ledger: Optional[CostLedger] = None
         for bin_instance in partition.color_bins:
@@ -232,7 +276,12 @@ class LowSpaceColorReduce:
                 continue
             if made_progress(bin_instance.graph):
                 child_coloring, child_ledger, child_node = self._color_reduce(
-                    bin_instance.graph, bin_instance.palettes, depth + 1, state
+                    bin_instance.graph,
+                    bin_instance.palettes,
+                    depth + 1,
+                    state,
+                    salt=child_salt(salt, bin_instance.bin_index),
+                    prefetched=prefetched_costs.get(bin_instance.bin_index),
                 )
                 node.children.append(child_node)
             else:
@@ -254,7 +303,11 @@ class LowSpaceColorReduce:
             ledger.charge("palette-update", PALETTE_UPDATE_ROUNDS, removed)
             if made_progress(leftover.graph):
                 child_coloring, child_ledger, child_node = self._color_reduce(
-                    leftover.graph, leftover.palettes, depth + 1, state
+                    leftover.graph,
+                    leftover.palettes,
+                    depth + 1,
+                    state,
+                    salt=child_salt(salt, partition.num_bins - 1),
                 )
                 node.children.append(child_node)
             else:
@@ -276,6 +329,22 @@ class LowSpaceColorReduce:
             coloring.update(mis_coloring)
 
         return coloring, ledger, node
+
+    def _level_prefetch_enabled(self) -> bool:
+        """Whether the cross-bin level prefetch applies under these params.
+
+        Same contract as the linear-space driver's gate: the segmented pass
+        reproduces the single-process, batched ``FIRST_FEASIBLE`` head
+        probes (the strategy this driver always uses), so any other scoring
+        configuration keeps the per-bin route.
+        """
+        params = self.params
+        return (
+            params.level_use_batch
+            and params.graph_use_batch
+            and params.selection_use_batch
+            and params.parallel_workers == 1
+        )
 
     def _update_palettes(
         self,
@@ -339,4 +408,3 @@ class _LowSpaceState:
 
     simulator: MPCSimulator
     global_nodes: int
-    partition_counter: int = 0

@@ -363,7 +363,8 @@ class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
 
     # -- node-level outcome for the selected pair -----------------------
     def outcome_selected(
-        self, h1: HashFunction, h2: HashFunction, color_arrays=None, scorer=None
+        self, h1: HashFunction, h2: HashFunction, color_arrays=None, scorer=None,
+        precomputed_counts=None,
     ) -> NodeLevelOutcome:
         """Full :class:`NodeLevelOutcome` for the winning pair, from prep.
 
@@ -398,6 +399,17 @@ class LowSpaceCostEvaluator(BatchCostEvaluatorBase):
         bins_high = (np.asarray(h1.hash_many(high)) % self.num_bins).astype(
             np.int64, copy=False
         )
+        if precomputed_counts is not None:
+            # (d', p') computed elsewhere over the same sorted-high order —
+            # e.g. the segmented cross-bin level pass (repro.core.level).
+            return _outcome_from_arrays(
+                high,
+                bins_high,
+                np.asarray(precomputed_counts[0], dtype=np.int64),
+                np.asarray(precomputed_counts[1], dtype=np.int64),
+                prep["threshold"],
+                last_bin,
+            )
         if scorer is not None:
             parts = scorer.phase_values("outcome", h1, h2, num_high, 2)
             if parts is not None:

@@ -71,6 +71,10 @@ class LowSpaceParameters:
     #: scalar reference; see
     #: :attr:`repro.core.params.ColorReduceParameters.graph_use_batch`.
     graph_use_batch: bool = True
+    #: Segmented cross-bin head-batch scoring per recursion level
+    #: (:mod:`repro.core.level`); bit-identical outcomes either way.  See
+    #: :attr:`repro.core.params.ColorReduceParameters.level_use_batch`.
+    level_use_batch: bool = True
     mis_independence: int = 4
 
     def __post_init__(self) -> None:

@@ -75,6 +75,7 @@ class LowSpacePartition:
         strategy: SelectionStrategy = SelectionStrategy.FIRST_FEASIBLE,
         classify_machine_level: bool = False,
         salt: int = 0,
+        cost=None,
     ) -> LowSpacePartitionResult:
         """Execute Algorithm 4 on one instance.
 
@@ -83,6 +84,12 @@ class LowSpacePartition:
         the Definition 4.1 machine classification for reporting; ``salt``
         decorrelates the candidate-seed sequences of different recursive
         calls (see :meth:`repro.core.partition.Partition.select_hash_pair`).
+        ``cost`` may inject a pre-built evaluator for this exact instance
+        (the cross-bin level prefetch passes a
+        :class:`~repro.core.level.CachedPairCost`); a mismatched injection
+        — different graph/palette objects or high-degree split, or a
+        multiprocess selection that would need to pickle the proxy — is
+        ignored.
         """
         threshold = self.params.low_degree_threshold(global_nodes)
         num_bins = self.params.num_bins(global_nodes)
@@ -136,9 +143,18 @@ class LowSpacePartition:
             range_size=num_color_bins,
             independence=self.params.independence,
         )
-        cost = low_space_cost_function(
-            graph, palettes, high_degree_nodes, self.params, num_bins
-        )
+        if cost is not None and not (
+            getattr(cost, "graph", None) is graph
+            and getattr(cost, "palettes", None) is palettes
+            and getattr(cost, "high_degree_nodes", None) == high_degree_nodes
+            and getattr(cost, "num_bins", None) == num_bins
+            and self.params.parallel_workers == 1
+        ):
+            cost = None
+        if cost is None:
+            cost = low_space_cost_function(
+                graph, palettes, high_degree_nodes, self.params, num_bins
+            )
         selector = HashPairSelector(
             family1,
             family2,

@@ -148,6 +148,13 @@ class ColorReduceParameters:
     parallel_transport: str = "shm"
     parallel_min_slab_pairs: Optional[int] = None
     graph_use_batch: bool = True
+    #: Score all sibling bins' head candidate batches in one segmented
+    #: cross-bin pass per recursion level (:mod:`repro.core.level`) instead
+    #: of one per-bin probe each; bit-identical outcomes either way.  Only
+    #: engaged when the batch layers it rides on are also enabled
+    #: (``graph_use_batch``, ``selection_use_batch``, single-process
+    #: selection, FIRST_FEASIBLE).
+    level_use_batch: bool = True
     enforce_palette_surplus: bool = True
 
     def __post_init__(self) -> None:

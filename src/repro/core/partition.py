@@ -167,14 +167,36 @@ class Partition:
         context: Optional[ExecutionContext] = None,
         strategy: Optional[SelectionStrategy] = None,
         salt: int = 0,
+        cost=None,
     ) -> PartitionResult:
         """Execute Algorithm 2 on one instance.
 
         The caller (``ColorReduce``) is responsible for charging the
         communication of actually redistributing the data; this method
         charges only the hash-selection steps (via ``context``).
+
+        ``cost`` may inject a pre-built evaluator for *this exact*
+        instance — the cross-bin level prefetch
+        (:func:`repro.core.level.prefetch_partition_level`) passes a
+        :class:`~repro.core.level.CachedPairCost` whose head-batch values
+        were already computed in one segmented pass over all sibling bins.
+        An injected evaluator whose identity does not match (different
+        graph/palette objects, ``ell`` or scale) is ignored, as is any
+        injection when the selection would wrap the cost in a
+        multiprocess scorer (the proxy is not picklable).
         """
-        cost = partition_cost_function(graph, palettes, self.params, ell, global_nodes)
+        if cost is not None and not (
+            getattr(cost, "graph", None) is graph
+            and getattr(cost, "palettes", None) is palettes
+            and getattr(cost, "ell", None) == ell
+            and getattr(cost, "global_nodes", None) == global_nodes
+            and self.params.parallel_workers == 1
+        ):
+            cost = None
+        if cost is None:
+            cost = partition_cost_function(
+                graph, palettes, self.params, ell, global_nodes
+            )
         selection = self.select_hash_pair(
             graph,
             palettes,

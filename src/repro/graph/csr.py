@@ -106,25 +106,40 @@ class GraphCSR:
         return int(self.indices.shape[0])
 
 
+def index_dtype(num_nodes: int) -> type:
+    """Position dtype for an instance of ``num_nodes`` nodes.
+
+    Positions live in ``[0, num_nodes)``; int32 halves the bytes of the
+    memory-bound edge gathers whenever it fits, int64 is the
+    overflow-guarded promotion beyond ``2**31 - 1`` nodes (the dtype policy
+    in ``docs/ARCHITECTURE.md``).  Key sorts over ``source * n + target``
+    always run in int64 regardless — the *combined* key overflows int32
+    long before the positions do.
+    """
+    return np.int32 if num_nodes <= np.iinfo(np.int32).max else np.int64
+
+
 def build_csr(adjacency: Dict[NodeId, "set"]) -> GraphCSR:
     """Build a :class:`GraphCSR` from an adjacency-set mapping.
 
     For ``n`` nodes and ``m`` undirected edges the view holds ``node_ids``
     of length ``n``, ``indptr`` of shape ``(n + 1,)``, and ``indices`` /
-    ``edge_sources`` of shape ``(2m,)`` (one entry per *directed* edge).
-    Neighbor lists are sorted by *position* so the layout is deterministic
-    for a given insertion order (the batched and scalar cost paths then
-    traverse edges in a fixed order).
+    ``edge_sources`` of shape ``(2m,)`` (one entry per *directed* edge,
+    :func:`index_dtype`-narrowed).  Neighbor lists are sorted by
+    *position* so the layout is deterministic for a given insertion order
+    (the batched and scalar cost paths then traverse edges in a fixed
+    order).
     """
     node_ids = list(adjacency)
     position = {node: index for index, node in enumerate(node_ids)}
     num_nodes = len(node_ids)
+    dtype = index_dtype(num_nodes)
     degrees = np.fromiter(
         (len(adjacency[node]) for node in node_ids), dtype=np.int64, count=num_nodes
     )
     indptr = np.zeros(num_nodes + 1, dtype=np.int64)
     np.cumsum(degrees, out=indptr[1:])
-    edge_sources = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+    edge_sources = np.repeat(np.arange(num_nodes, dtype=dtype), degrees)
     # One flat pass over the adjacency sets (dict order == node order), then
     # a single C-level sort of (source, target) keys instead of a Python
     # ``sorted`` per node: groups stay contiguous and targets end up sorted
@@ -132,10 +147,12 @@ def build_csr(adjacency: Dict[NodeId, "set"]) -> GraphCSR:
     flat = [
         position[neighbor] for node in node_ids for neighbor in adjacency[node]
     ]
-    indices = np.asarray(flat, dtype=np.int64)
+    indices = np.asarray(flat, dtype=dtype)
     if num_nodes and indices.shape[0]:
-        keys = np.sort(edge_sources * num_nodes + indices)
-        indices = keys % num_nodes
+        keys = np.sort(
+            edge_sources.astype(np.int64) * num_nodes + indices.astype(np.int64)
+        )
+        indices = (keys % num_nodes).astype(dtype)
     return GraphCSR(
         node_ids=node_ids,
         indptr=indptr,
@@ -168,15 +185,18 @@ def _assemble_child(
     sets — safe to cache on the child graph.
     """
     num_nodes = len(node_ids)
+    dtype = index_dtype(num_nodes)
     degrees = np.bincount(rows, minlength=num_nodes).astype(np.int64, copy=False)
     indptr = np.zeros(num_nodes + 1, dtype=np.int64)
     np.cumsum(degrees, out=indptr[1:])
     if rows.shape[0]:
-        keys = np.sort(rows * num_nodes + targets)
-        indices = keys % num_nodes
+        keys = np.sort(
+            rows.astype(np.int64) * num_nodes + targets.astype(np.int64)
+        )
+        indices = (keys % num_nodes).astype(dtype)
     else:
-        indices = np.zeros(0, dtype=np.int64)
-    edge_sources = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+        indices = np.zeros(0, dtype=dtype)
+    edge_sources = np.repeat(np.arange(num_nodes, dtype=dtype), degrees)
     return GraphCSR(
         node_ids=list(node_ids),
         indptr=indptr,

@@ -282,7 +282,11 @@ def _store_from_sets(sets: Dict[NodeId, Set[Color]]) -> Optional[_PaletteStore]:
 
     Returns ``None`` when a color cannot be represented as int64 (the
     assignment then stays sets-only and every batch entry point falls back
-    to its scalar reference).
+    to its scalar reference).  Colors that all fit ``[0, 2**31)`` are
+    narrowed to int32 (the dtype policy in ``docs/ARCHITECTURE.md``);
+    anything negative or wider keeps the overflow-guarded int64
+    representation.  Children derived by slicing/compaction inherit the
+    root's dtype.
     """
     import itertools
 
@@ -307,6 +311,9 @@ def _store_from_sets(sets: Dict[NodeId, Set[Color]]) -> Optional[_PaletteStore]:
         # lexsort is overflow-free (no combined keys): stable sort by
         # (owner, color) leaves each node's slice sorted ascending.
         flat = flat[np.lexsort((flat, owners))]
+        # flat is sorted per-owner slice, not globally — bound via min/max.
+        if int(flat.min()) >= 0 and int(flat.max()) <= np.iinfo(np.int32).max:
+            flat = flat.astype(np.int32)
     return _PaletteStore(nodes, flat, offsets)
 
 

@@ -189,6 +189,87 @@ def narrow_bins(bins: np.ndarray, num_bins: int) -> np.ndarray:
     return bins
 
 
+def evaluate_polynomial_rows(
+    coefficient_rows: Sequence[Sequence[int]],
+    xs: ArrayLike,
+    row_of_x: ArrayLike,
+    primes: Sequence[int],
+) -> np.ndarray:
+    """Per-element Horner where each element picks its own row's polynomial.
+
+    The segmented (cross-bin) counterpart of
+    :func:`evaluate_polynomial_many`: ``coefficient_rows`` holds one
+    coefficient vector per *row* (e.g. one sibling bin of a recursion
+    level), ``primes`` the matching field modulus per row, and
+    ``row_of_x[j]`` says which row element ``xs[j]`` belongs to.  All rows
+    must share the same degree (the recursion uses one independence
+    parameter per level).  Entry ``j`` of the result equals
+    ``evaluate_polynomial(coefficient_rows[r], xs[j] % primes[r], primes[r])``
+    for ``r = row_of_x[j]`` — bit-identical to evaluating each row
+    separately with :func:`evaluate_polynomial_many`.
+
+    A single arithmetic regime covers the whole call: int64 when *every*
+    row's prime is below :data:`INT64_SAFE_PRIME`, exact ``object`` dtype
+    otherwise (color-family primes scale like ``n**2`` and cross ``2**31``
+    near ``n = 46341``, so mixed levels are the norm at scale).
+    """
+    primes_list = [int(prime) for prime in primes]
+    if any(prime < 2 for prime in primes_list):
+        raise HashFamilyError("prime must be at least 2")
+    rows = np.asarray(row_of_x, dtype=np.int64)
+    widths = {len(row) for row in coefficient_rows}
+    if len(widths) > 1:
+        raise HashFamilyError(
+            f"coefficient rows must share one degree, got widths {sorted(widths)}"
+        )
+    exact = any(prime >= INT64_SAFE_PRIME for prime in primes_list)
+    dtype = object if exact else np.int64
+    primes_row = np.asarray(primes_list, dtype=dtype)
+    # Reduce coefficients mod their own prime with exact (object) arithmetic
+    # before narrowing, mirroring evaluate_polynomial_many.
+    coeffs = (
+        np.asarray([list(row) for row in coefficient_rows], dtype=object)
+        % np.asarray(primes_list, dtype=object).reshape(-1, 1)
+    ).astype(dtype)
+    mods = primes_row[rows]
+    points = np.atleast_1d(np.asarray(xs, dtype=dtype)) % mods
+    degree_plus_one = coeffs.shape[1] if coeffs.size else 0
+    if degree_plus_one == 0:
+        return np.zeros(points.shape[0], dtype=dtype)
+    acc = (coeffs[rows, degree_plus_one - 1] % mods).copy()
+    for index in range(degree_plus_one - 2, -1, -1):
+        acc = (acc * points + coeffs[rows, index]) % mods
+    return acc
+
+
+def hash_rows(
+    functions: Sequence, xs: ArrayLike, row_of_x: ArrayLike
+) -> np.ndarray:
+    """Apply one :class:`~repro.hashing.family.HashFunction` per row to a
+    row-tagged flat input array.
+
+    ``functions[row_of_x[j]]`` hashes ``xs[j]``; inputs must already be
+    reduced into each row's domain (as the per-child ``_cached_xs`` arrays
+    of the cost evaluators are).  Scalar reference: entry ``j`` equals
+    ``functions[row_of_x[j]](xs[j])`` exactly, so concatenating per-row
+    :func:`hash_many` results in row order gives the same array.  Returns
+    int64 regardless of the internal arithmetic regime.
+    """
+    primes = [fn.prime for fn in functions]
+    values = evaluate_polynomial_rows(
+        [fn.coefficients for fn in functions], xs, row_of_x, primes
+    )
+    dtype = object if values.dtype == object else np.int64
+    rows = np.asarray(row_of_x, dtype=np.int64)
+    ranges_row = np.asarray([fn.range_size for fn in functions], dtype=dtype)
+    reduced = (values * ranges_row[rows]) // np.asarray(primes, dtype=dtype)[rows]
+    if reduced.dtype == object:
+        return np.asarray(
+            [int(value) for value in reduced.tolist()], dtype=np.int64
+        )
+    return reduced
+
+
 def rowwise_bincount(values: np.ndarray, num_values: int) -> np.ndarray:
     """Per-row histogram of a ``(num_rows, m)`` integer matrix.
 

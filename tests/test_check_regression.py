@@ -181,6 +181,7 @@ def test_repo_baselines_exist_for_both_scales():
             "BENCH_p3.json",
             "BENCH_p4.json",
             "BENCH_p5.json",
+            "BENCH_p8.json",
         ], f"committed {scale} baselines incomplete: {files}"
 
 

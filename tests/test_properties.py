@@ -507,3 +507,147 @@ class TestGreedyBatchEquivalence:
             batch_error = str(exc)
         assert scalar_error == batch_error
         assert scalar == batched
+
+
+# ----------------------------------------------------------------------
+# segmented cross-bin level kernels vs the per-bin evaluators
+# ----------------------------------------------------------------------
+@st.composite
+def level_instances(draw):
+    """A level of 1..3 sibling instances (possibly including empty bins).
+
+    Siblings reuse the ``partition_instances`` shape (non-contiguous ids,
+    shifted color universes) and are naturally uneven in size; an empty
+    sibling is injected with its own draw so the segmented kernels see
+    zero-length segments.
+    """
+    num_children = draw(st.integers(min_value=1, max_value=3))
+    children = [draw(partition_instances()) for _ in range(num_children)]
+    if draw(st.booleans()):
+        children.append((Graph(), PaletteAssignment({}), 0, 0))
+    salts = [
+        draw(st.integers(min_value=0, max_value=2**20)) for _ in children
+    ]
+    return children, salts
+
+
+class TestSegmentedLevelDifferential:
+    """The cross-bin level pass must be bit-identical to per-bin scoring."""
+
+    LEVEL_SETTINGS = settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+
+    @LEVEL_SETTINGS
+    @given(level_instances())
+    def test_partition_prefetch_matches_per_bin(self, data):
+        from repro.core.classification import partition_cost_function
+        from repro.core.level import head_pairs, prefetch_partition_level
+        from repro.core.partition import Partition
+
+        children, salts = data
+        params = ColorReduceParameters.scaled(num_bins=3)
+        global_nodes = max(
+            [2] + [max(g.nodes(), default=0) + 1 for g, _, _, _ in children]
+        )
+        ell = max([2.0] + [float(g.max_degree()) for g, _, _, _ in children])
+        tuples = [
+            (index, salts[index], graph, palettes)
+            for index, (graph, palettes, _, _) in enumerate(children)
+        ]
+        prefetched = prefetch_partition_level(tuples, params, ell, global_nodes)
+        count = min(params.selection_batch_size, params.selection_max_candidates)
+        builder = Partition(params)
+        for index, (graph, palettes, _, _) in enumerate(children):
+            proxy = prefetched[index]
+            reference = partition_cost_function(
+                graph, palettes, params, ell, global_nodes
+            )
+            family1, family2 = builder.build_families(
+                graph, palettes, ell, global_nodes
+            )
+            pairs = head_pairs(family1, family2, salts[index], count)
+            # Cached costs vs both reference routes (scalar and slab).
+            assert [proxy(*pair) for pair in pairs] == list(reference.many(pairs))
+            assert proxy(*pairs[0]) == reference(*pairs[0])
+            # Post-selection classification + restriction through the cached
+            # head counts vs the reference evaluator's own pass.
+            h1, h2 = pairs[0]
+            cls_proxy, restricted_proxy = proxy.classify_selected(h1, h2)
+            cls_ref, restricted_ref = reference.classify_selected(h1, h2)
+            assert cls_proxy.bin_of_node == cls_ref.bin_of_node
+            assert cls_proxy.bin_sizes == cls_ref.bin_sizes
+            assert cls_proxy.bad_bins == cls_ref.bad_bins
+            assert cls_proxy.bad_nodes == cls_ref.bad_nodes
+            assert len(restricted_proxy) == len(restricted_ref)
+            for left, right in zip(restricted_proxy, restricted_ref):
+                assert left.nodes() == right.nodes()
+                for node in right.nodes():
+                    assert left.palette(node) == right.palette(node)
+
+    @LEVEL_SETTINGS
+    @given(level_instances())
+    def test_low_space_prefetch_matches_per_bin(self, data):
+        from repro.core.classification import color_bin_arrays
+        from repro.core.level import head_pairs, prefetch_low_space_level
+        from repro.core.low_space.machine_sets import low_space_cost_function
+        from repro.core.low_space.params import LowSpaceParameters
+        from repro.hashing.family import KWiseIndependentFamily as Family
+
+        children, salts = data
+        params = LowSpaceParameters.scaled(num_bins=3, low_degree_threshold=2)
+        global_nodes = max(
+            [2] + [max(g.nodes(), default=0) + 1 for g, _, _, _ in children]
+        )
+        threshold = params.low_degree_threshold(global_nodes)
+        num_bins = params.num_bins(global_nodes)
+        num_color_bins = max(1, num_bins - 1)
+        tuples = [
+            (index, salts[index], graph, palettes)
+            for index, (graph, palettes, _, _) in enumerate(children)
+        ]
+        prefetched = prefetch_low_space_level(tuples, params, global_nodes)
+        count = min(params.selection_batch_size, params.selection_max_candidates)
+        for index, (graph, palettes, _, _) in enumerate(children):
+            high = {
+                node for node in graph.nodes() if graph.degree(node) > threshold
+            }
+            if not high:
+                # Children on the pure MIS path have nothing to prefetch.
+                assert index not in prefetched
+                continue
+            proxy = prefetched[index]
+            reference = low_space_cost_function(
+                graph, palettes, high, params, num_bins
+            )
+            node_domain = max(global_nodes, max(graph.nodes(), default=0) + 1)
+            universe = palettes.color_universe()
+            color_domain = max(
+                global_nodes * global_nodes, max(universe, default=0) + 1
+            )
+            family1 = Family(
+                domain_size=node_domain,
+                range_size=num_bins,
+                independence=params.independence,
+            )
+            family2 = Family(
+                domain_size=color_domain,
+                range_size=num_color_bins,
+                independence=params.independence,
+            )
+            pairs = head_pairs(family1, family2, salts[index], count)
+            assert [proxy(*pair) for pair in pairs] == list(reference.many(pairs))
+            assert proxy(*pairs[0]) == reference(*pairs[0])
+            h1, h2 = pairs[0]
+            color_arrays = color_bin_arrays(palettes, h2, num_color_bins)
+            outcome_proxy = proxy.outcome_selected(
+                h1, h2, color_arrays=color_arrays
+            )
+            outcome_ref = reference.outcome_selected(
+                h1, h2, color_arrays=color_arrays
+            )
+            assert outcome_proxy.violating_nodes == outcome_ref.violating_nodes
+            assert outcome_proxy.bin_of_node == outcome_ref.bin_of_node
+            assert outcome_proxy.cost == outcome_ref.cost
