@@ -12,13 +12,19 @@ Two claims, measured on one large Erdős–Rényi instance:
    ``BENCH_P8_REQUIRED_SPEEDUP`` (default 2x) faster at the smoke scale
    and above.
 
-2. **End-to-end neutrality + determinism** (informational records).  A
-   full ``ColorReduce`` run with ``level_use_batch`` on must produce the
-   *identical* coloring, recursion tree and round ledger as with it off —
-   the prefetch only moves work, never changes outcomes.  Wall-clock and
-   peak RSS are recorded (``gate: false`` — end-to-end time is dominated
-   by stages the flag does not touch, and RSS is a capacity record, not a
-   speedup).
+2. **End-to-end wall-clock** (gated record, ``metric: seconds``).  A full
+   ``ColorReduce`` run is timed with a median-of-k protocol
+   (``BENCH_P8_E2E_RUNS`` repeats, default 3; the recorded ``batch_s`` is
+   the median, so one scheduler hiccup cannot fail the gate), and the
+   coloring is asserted identical across the repeats.
+   ``check_regression.py`` gates the median lower-is-better: the fresh
+   time must stay within ``baseline / tolerance``.
+
+3. **Neutrality + determinism** (smoke scale).  The run with
+   ``level_use_batch`` on must produce the *identical* coloring, recursion
+   tree and round ledger as with it off — the prefetch only moves work,
+   never changes outcomes.  Peak RSS is recorded informationally
+   (``gate: false`` — a capacity record, not a speedup).
 
 The smoke scale runs ``n = 10^5`` on every push; the default (nightly)
 scale runs ``n = 10^6``, where the flag-off reference would double an
@@ -31,6 +37,7 @@ from __future__ import annotations
 
 import os
 import resource
+import statistics
 import time
 
 from bench_json import emit_bench_json
@@ -142,9 +149,24 @@ def test_p8_end_to_end(benchmark, experiment_scale):
     )
     level_speedup = per_bin_s / segmented_s
 
-    started = time.perf_counter()
-    result_on = ColorReduce(params_on).run(graph)
-    on_seconds = time.perf_counter() - started
+    # Median-of-k end-to-end protocol: k timed runs (default 3, override
+    # with BENCH_P8_E2E_RUNS), recording the median so one scheduler
+    # hiccup cannot fail the wall-clock gate; every repeat must reproduce
+    # the first run's coloring exactly.
+    e2e_runs = max(1, int(os.environ.get("BENCH_P8_E2E_RUNS", "3")))
+    samples = []
+    result_on = None
+    for _ in range(e2e_runs):
+        started = time.perf_counter()
+        result = ColorReduce(params_on).run(graph)
+        samples.append(time.perf_counter() - started)
+        if result_on is None:
+            result_on = result
+        else:
+            assert result.coloring == result_on.coloring, (
+                "end-to-end repeats produced different colorings"
+            )
+    on_seconds = statistics.median(samples)
 
     off_seconds = None
     if run_reference:
@@ -187,29 +209,19 @@ def test_p8_end_to_end(benchmark, experiment_scale):
             "gate": False,
         },
     ]
+    e2e_record = {
+        "op": "e2e-colorreduce",
+        "n": graph.num_nodes,
+        "batch_s": round(on_seconds, 5),
+        "speedup": 0.0,
+        "metric": "seconds",
+        "runs": e2e_runs,
+        "samples": [round(s, 5) for s in samples],
+        "gate": True,
+    }
     if off_seconds is not None:
-        records.insert(
-            1,
-            {
-                "op": "e2e-colorreduce",
-                "n": graph.num_nodes,
-                "scalar_s": round(off_seconds, 5),
-                "batch_s": round(on_seconds, 5),
-                "speedup": round(off_seconds / on_seconds, 2),
-                "gate": False,
-            },
-        )
-    else:
-        records.insert(
-            1,
-            {
-                "op": "e2e-colorreduce",
-                "n": graph.num_nodes,
-                "batch_s": round(on_seconds, 5),
-                "speedup": 0.0,
-                "gate": False,
-            },
-        )
+        e2e_record["scalar_s"] = round(off_seconds, 5)
+    records.insert(1, e2e_record)
     emit_bench_json("p8", records)
 
     print()
@@ -225,10 +237,14 @@ def test_p8_end_to_end(benchmark, experiment_scale):
     if off_seconds is not None:
         print(
             f"  end-to-end ColorReduce: flag-off {off_seconds:8.2f}s vs "
-            f"flag-on {on_seconds:8.2f}s (identical coloring/tree/rounds)"
+            f"flag-on median {on_seconds:8.2f}s of {e2e_runs} "
+            "(identical coloring/tree/rounds)"
         )
     else:
-        print(f"  end-to-end ColorReduce (flag on): {on_seconds:8.2f}s")
+        print(
+            f"  end-to-end ColorReduce (flag on): median {on_seconds:8.2f}s "
+            f"of {e2e_runs} run(s) {[round(s, 2) for s in samples]}"
+        )
     print(f"  peak RSS: {rss_mb:8.1f} MiB")
 
     required = float(os.environ.get("BENCH_P8_REQUIRED_SPEEDUP", "2.0"))

@@ -36,6 +36,14 @@ A fresh record passes when ``speedup >= tolerance * baseline_speedup``.
 The default tolerance (0.5) absorbs shared-runner noise while still
 catching a kernel that silently lost half its advantage.
 
+Records may instead gate a **wall-clock** number: a record carrying
+``"metric": "seconds"`` is compared on its ``batch_s`` field,
+lower-is-better — the fresh time must be at most ``baseline / tolerance``
+(with the default 0.5 that allows up to 2x the baseline time, the mirror
+image of "lost half its advantage").  The P8 end-to-end record uses this
+to gate the million-node wall-clock, measured with a median-of-k protocol
+at the source so a single scheduler hiccup cannot fail the gate.
+
 Baseline validity
 -----------------
 A gate-armed P5 **baseline** recorded on a single CPU is rejected outright
@@ -123,6 +131,16 @@ def load_records(path: Path):
                 f"record {index} ({record['op']!r}) has non-numeric speedup "
                 f"{record['speedup']!r}",
             )
+        if record.get("metric") == "seconds":
+            batch_s = record.get("batch_s")
+            if not isinstance(batch_s, (int, float)) or isinstance(
+                batch_s, bool
+            ) or batch_s <= 0:
+                raise BenchRecordError(
+                    path,
+                    f"record {index} ({record['op']!r}) gates on seconds but "
+                    f"has no positive numeric batch_s ({batch_s!r})",
+                )
         by_op[record["op"]] = record
     return by_op
 
@@ -179,12 +197,27 @@ def compare_file(name: str, baseline: Path, current: Path, tolerance: float):
             )
             continue
         compared += 1
-        required = tolerance * base["speedup"]
-        status = "ok" if fresh["speedup"] >= required else "REGRESSION"
-        lines.append(
-            f"{prefix}: {status} (baseline {base['speedup']:.2f}x, "
-            f"current {fresh['speedup']:.2f}x, floor {required:.2f}x)"
-        )
+        if base.get("metric") == "seconds" or fresh.get("metric") == "seconds":
+            if base.get("metric") != fresh.get("metric"):
+                lines.append(
+                    f"{prefix}: skipped (metric mismatch: "
+                    f"{base.get('metric')!r} -> {fresh.get('metric')!r})"
+                )
+                compared -= 1
+                continue
+            ceiling = base["batch_s"] / tolerance
+            status = "ok" if fresh["batch_s"] <= ceiling else "REGRESSION"
+            lines.append(
+                f"{prefix}: {status} (baseline {base['batch_s']:.2f}s, "
+                f"current {fresh['batch_s']:.2f}s, ceiling {ceiling:.2f}s)"
+            )
+        else:
+            required = tolerance * base["speedup"]
+            status = "ok" if fresh["speedup"] >= required else "REGRESSION"
+            lines.append(
+                f"{prefix}: {status} (baseline {base['speedup']:.2f}x, "
+                f"current {fresh['speedup']:.2f}x, floor {required:.2f}x)"
+            )
         if status == "REGRESSION":
             regressions += 1
     return lines, regressions, compared

@@ -74,6 +74,20 @@ class CostLedger:
         """A plain-dict snapshot ``label -> (rounds, message_words)``."""
         return {label: (cost.rounds, cost.message_words) for label, cost in self._phases.items()}
 
+    def copy(self) -> "CostLedger":
+        """An independent deep copy (same totals, phases, insertion order).
+
+        The checkpoint layer stores and restores ledgers through copies:
+        a restored subtree's ledger is merged into its parent exactly like
+        a freshly computed one, and ``merge_parallel`` mutates the first
+        child ledger it adopts — sharing the stored object would corrupt
+        the checkpoint.
+        """
+        clone = CostLedger(rounds=self.rounds, message_words=self.message_words)
+        for label, cost in self._phases.items():
+            clone._phases[label] = PhaseCost(cost.rounds, cost.message_words)
+        return clone
+
 
 @dataclass
 class PoolHealth:
@@ -120,6 +134,11 @@ class PoolHealth:
     bytes_shared:
         Payload bytes published once into shared-memory segments instead of
         being shipped per worker.  Volume telemetry, not a fault.
+    orphan_segments_swept:
+        ``repro_*`` segments of *dead* owner processes found in ``/dev/shm``
+        and unlinked at pool startup (a previous run was SIGKILLed between
+        publishing and its ``atexit`` backstop).  Hygiene telemetry about a
+        past process, not a fault of this run.
     """
 
     shard_retries: int = 0
@@ -133,11 +152,17 @@ class PoolHealth:
     breaker_skipped_slabs: int = 0
     bytes_shipped: int = 0
     bytes_shared: int = 0
+    orphan_segments_swept: int = 0
 
-    #: Transport-volume counters: meaningful telemetry, but not recovery
-    #: events — excluded from :attr:`total_events` / :attr:`degraded` so a
-    #: fault-free parallel run still reports healthy.
-    _VOLUME_COUNTERS: ClassVar[Tuple[str, ...]] = ("bytes_shipped", "bytes_shared")
+    #: Non-event counters (transport volume, startup hygiene): meaningful
+    #: telemetry, but not recovery events — excluded from
+    #: :attr:`total_events` / :attr:`degraded` so a fault-free parallel run
+    #: still reports healthy.
+    _VOLUME_COUNTERS: ClassVar[Tuple[str, ...]] = (
+        "bytes_shipped",
+        "bytes_shared",
+        "orphan_segments_swept",
+    )
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment one counter by ``amount`` (the counter must exist)."""
@@ -172,6 +197,76 @@ class PoolHealth:
     def degraded(self) -> bool:
         """Whether any recovery action fired (a fault-free run is all-zero)."""
         return self.total_events > 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    def summary(self) -> str:
+        """One-line ``name=value`` rendering (CLI and logs)."""
+        return " ".join(
+            f"{spec.name}={getattr(self, spec.name)}" for spec in fields(self)
+        )
+
+
+@dataclass
+class RunDurability:
+    """Durability telemetry of one run (:mod:`repro.runtime`).
+
+    The run-level durability layer — periodic checkpoints, resume, the
+    resource guardrails and signal-safe shutdown — never changes a coloring,
+    a recursion tree or a ledger; like :class:`PoolHealth`, this record is
+    its only run-visible trace.  The pipelines attach one to their results
+    whenever any durability knob is set, and the CLI prints it.
+
+    Attributes
+    ----------
+    checkpoints_written:
+        Atomic checkpoint files written (tmp-file + rename).
+    checkpoint_bytes:
+        Payload bytes of the *last* checkpoint written (the file is
+        rewritten whole each time, so the last size is the file's size).
+    subtrees_recorded:
+        Completed recursion subtrees recorded into the checkpoint frontier.
+    subtrees_restored:
+        Subtrees replayed from the resume checkpoint instead of recomputed.
+    nodes_restored:
+        Graph nodes whose colors were restored rather than recomputed.
+    guard_polls:
+        Times the resource guard actually sampled RSS (polling is
+        throttled; cheap deadline checks are not counted).
+    rss_peak_mb:
+        Largest resident-set sample the guard observed, in MiB (0 when no
+        memory budget was set).
+    prefetch_disabled:
+        1 when the degradation ladder's first rung fired (cross-bin level
+        prefetch dropped for the rest of the run).
+    buffer_shrinks:
+        Times the second rung fired (worker pools drained, caches
+        collected) to claw memory back before aborting.
+    """
+
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    subtrees_recorded: int = 0
+    subtrees_restored: int = 0
+    nodes_restored: int = 0
+    guard_polls: int = 0
+    rss_peak_mb: int = 0
+    prefetch_disabled: int = 0
+    buffer_shrinks: int = 0
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment one counter by ``amount`` (the counter must exist)."""
+        setattr(self, counter, getattr(self, counter) + amount)
+
+    def observe_rss(self, rss_mb: float) -> None:
+        """Fold one RSS sample into the peak."""
+        self.rss_peak_mb = max(self.rss_peak_mb, int(rss_mb))
+
+    @property
+    def resumed(self) -> bool:
+        """Whether any work was replayed from a resume checkpoint."""
+        return self.subtrees_restored > 0
 
     def as_dict(self) -> Dict[str, int]:
         return {spec.name: getattr(self, spec.name) for spec in fields(self)}

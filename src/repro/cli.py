@@ -18,7 +18,12 @@ from typing import Optional, Sequence
 from repro import ColorReduce, LowSpaceColorReduce
 from repro.analysis.metrics import collect_metrics
 from repro.analysis.reporting import Table
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    RunAbortedError,
+    RunInterrupted,
+)
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.workloads import build_workload, list_workloads
 from repro.graph.validation import assert_valid_list_coloring, count_colors_used
@@ -36,8 +41,23 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     color = subparsers.add_parser("color", help="color a named workload and print metrics")
-    color.add_argument("--workload", default="dense-random-lists")
-    color.add_argument("--nodes", type=int, default=400)
+    color.add_argument(
+        "--workload",
+        default=None,
+        help="named workload to color (default: dense-random-lists)",
+    )
+    color.add_argument(
+        "--edge-list",
+        default=None,
+        metavar="PATH",
+        help=(
+            "color a graph read from an edge-list file instead of a named "
+            "workload: one 'u v' pair of non-negative integers per line, "
+            "'#' comments and blank lines ignored; palettes are random "
+            "(deg+1)-lists seeded by --seed"
+        ),
+    )
+    color.add_argument("--nodes", type=int, default=None, help="workload size (default 400)")
     color.add_argument("--seed", type=int, default=1)
     color.add_argument(
         "--algorithm",
@@ -109,6 +129,60 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    durability = color.add_argument_group(
+        "durability",
+        "run-level checkpoint/resume, resource guardrails and signal-safe "
+        "shutdown (see docs/ARCHITECTURE.md, 'Failure semantics')",
+    )
+    durability.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "periodically write the completed-subtree frontier to PATH "
+            "(atomic rename, digest-verified); a killed run resumes "
+            "bit-identically with --resume PATH"
+        ),
+    )
+    durability.add_argument(
+        "--checkpoint-every-levels",
+        type=int,
+        default=1,
+        metavar="K",
+        help="flush the checkpoint after every K-th recorded subtree (default 1)",
+    )
+    durability.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help=(
+            "resume from a checkpoint written by a previous (interrupted) "
+            "run of the same instance and parameters; the file's fingerprint "
+            "is validated first"
+        ),
+    )
+    durability.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help=(
+            "soft RSS budget: at 80%% prefetch is disabled, at 90%% worker "
+            "pools are drained, at 100%% the run checkpoints and aborts "
+            "resumably (exit 75) instead of risking the OOM killer"
+        ),
+    )
+    durability.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "wall-clock watchdog: past the deadline the run checkpoints "
+            "and aborts resumably (exit 75)"
+        ),
+    )
+
     experiment = subparsers.add_parser("experiment", help="run one experiment (E1-E9)")
     experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
     experiment.add_argument("--scale", choices=("smoke", "default", "full"), default="smoke")
@@ -159,11 +233,118 @@ def _parallel_overrides(args: argparse.Namespace) -> dict:
     )
 
 
+def _durability_overrides(args: argparse.Namespace) -> dict:
+    """The durability knobs, validated for contradictions up front.
+
+    The parameter sets validate values (positivity, non-empty paths); the
+    checks here are the CLI-level contradictions a parameter set cannot
+    see — a ``--resume`` file that does not exist, or a cadence passed
+    without anything to checkpoint.
+    """
+    import os
+
+    if args.resume is not None and not os.path.exists(args.resume):
+        raise ConfigurationError(
+            f"--resume {args.resume}: checkpoint file does not exist"
+        )
+    if args.checkpoint_every_levels != 1 and args.checkpoint is None:
+        raise ConfigurationError(
+            "--checkpoint-every-levels requires --checkpoint"
+        )
+    return dict(
+        checkpoint_path=args.checkpoint,
+        resume_path=args.resume,
+        checkpoint_every_levels=args.checkpoint_every_levels,
+        memory_budget_mb=args.memory_budget_mb,
+        deadline_seconds=args.deadline_seconds,
+    )
+
+
+def _load_edge_list(path: str):
+    """Parse an edge-list file into a :class:`~repro.graph.graph.Graph`.
+
+    Format: one ``u v`` pair of non-negative integers per line; blank
+    lines and ``#`` comments are ignored.  Every malformed line is a
+    :class:`ConfigurationError` naming ``path:lineno`` so the message is
+    actionable, and self-loops are rejected (a node cannot constrain its
+    own color).
+    """
+    from repro.graph.graph import Graph
+
+    edges = []
+    nodes = set()
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"--edge-list {path}: {exc.strerror or exc}") from exc
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            parts = text.split()
+            if len(parts) != 2:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: expected 'u v', got {text!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: endpoints must be integers, got {text!r}"
+                ) from None
+            if u < 0 or v < 0:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: endpoints must be non-negative, got {text!r}"
+                )
+            if u == v:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: self-loop {u}-{v} is not a valid edge"
+                )
+            edges.append((u, v))
+            nodes.add(u)
+            nodes.add(v)
+    if not edges:
+        raise ConfigurationError(f"--edge-list {path}: no edges found")
+    return Graph.from_edges(edges, nodes=sorted(nodes))
+
+
+def _resolve_instance(args: argparse.Namespace):
+    """The (graph, palettes, description) triple the color command runs on.
+
+    Exactly one instance source applies: ``--edge-list`` (palettes are
+    seeded (deg+1)-lists) or a named ``--workload`` (default
+    ``dense-random-lists`` at 400 nodes).  Mixing the two, or a
+    non-positive ``--nodes``, is a :class:`ConfigurationError`.
+    """
+    if args.edge_list is not None:
+        if args.workload is not None:
+            raise ConfigurationError(
+                "--edge-list and --workload are mutually exclusive"
+            )
+        if args.nodes is not None:
+            raise ConfigurationError(
+                "--nodes conflicts with --edge-list (the file defines the nodes)"
+            )
+        from repro.graph.generators import degree_plus_one_palettes
+
+        graph = _load_edge_list(args.edge_list)
+        palettes = degree_plus_one_palettes(graph, seed=args.seed)
+        return graph, palettes, f"edge-list {args.edge_list!r}"
+    nodes = 400 if args.nodes is None else args.nodes
+    if nodes < 1:
+        raise ConfigurationError(f"--nodes must be positive, got {nodes}")
+    workload = args.workload if args.workload is not None else "dense-random-lists"
+    graph, palettes, spec = build_workload(workload, nodes, seed=args.seed)
+    return graph, palettes, f"workload {spec.name!r} ({spec.problem})"
+
+
 def _run_color(args: argparse.Namespace) -> int:
     _validate_workers(args.parallel_workers)
-    graph, palettes, spec = build_workload(args.workload, args.nodes, seed=args.seed)
+    overrides = dict(_parallel_overrides(args), **_durability_overrides(args))
+    graph, palettes, description = _resolve_instance(args)
     print(
-        f"workload {spec.name!r} ({spec.problem}): n={graph.num_nodes}, "
+        f"{description}: n={graph.num_nodes}, "
         f"m={graph.num_edges}, Delta={graph.max_degree()}"
     )
     workers = args.parallel_workers
@@ -171,7 +352,7 @@ def _run_color(args: argparse.Namespace) -> int:
         from repro.core.low_space.params import LowSpaceParameters
 
         result = LowSpaceColorReduce(
-            LowSpaceParameters(**_parallel_overrides(args))
+            LowSpaceParameters(**overrides)
         ).run(graph, palettes)
         assert_valid_list_coloring(graph, palettes, result.coloring)
         print(
@@ -183,7 +364,7 @@ def _run_color(args: argparse.Namespace) -> int:
         from repro.core.params import ColorReduceParameters
 
         result = ColorReduce(
-            ColorReduceParameters(**_parallel_overrides(args))
+            ColorReduceParameters(**overrides)
         ).run(graph, palettes)
         assert_valid_list_coloring(graph, palettes, result.coloring)
         metrics = collect_metrics(graph, result)
@@ -195,6 +376,8 @@ def _run_color(args: argparse.Namespace) -> int:
         health = result.pool_health
         state = "degraded (self-healed)" if health.degraded else "healthy"
         print(f"pool health: {state}: {health.summary()}")
+    if any(v is not None for v in (args.checkpoint, args.resume, args.memory_budget_mb, args.deadline_seconds)):
+        print(f"durability: {result.durability.summary()}")
     return 0
 
 
@@ -235,6 +418,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _list_experiments()
         if args.command == "list-workloads":
             return _list_workloads()
+    except RunInterrupted as exc:
+        # Signal-safe shutdown: the in-flight level finished, the final
+        # checkpoint was flushed, pools drained, segments unlinked.  The
+        # exit code is the conventional 128+signum so shell scripts see
+        # the same code a raw kill would have produced.
+        hint = (
+            f"; resume with --resume {exc.checkpoint_path}"
+            if exc.checkpoint_path
+            else ""
+        )
+        print(f"interrupted: {exc}{hint}", file=sys.stderr)
+        return 128 + exc.signum
+    except RunAbortedError as exc:
+        # Resource-guard abort (memory budget or deadline): checkpointed
+        # if a path was configured, always resumable.  75 is EX_TEMPFAIL —
+        # "try again later", which is exactly the contract.
+        hint = (
+            f"; resume with --resume {exc.checkpoint_path}"
+            if exc.checkpoint_path
+            else ""
+        )
+        print(f"aborted: {exc}{hint}", file=sys.stderr)
+        return 75
     except ReproError as exc:
         # Library-level misconfiguration is a usage error, not a crash: one
         # actionable line, no traceback.

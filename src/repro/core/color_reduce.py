@@ -34,7 +34,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.accounting import CostLedger, PoolHealth
+from repro.accounting import CostLedger, PoolHealth, RunDurability
 from repro.congested_clique.model import CongestedCliqueSimulator
 from repro.core.context import CongestedCliqueContext, ExecutionContext
 from repro.core.level import (
@@ -106,6 +106,11 @@ class ColorReduceResult:
     #: ``parallel_workers == 1``).  Faults never change the coloring or the
     #: tree — this record is their only visible trace.
     pool_health: PoolHealth = field(default_factory=PoolHealth)
+    #: Durability telemetry (:mod:`repro.runtime`): checkpoints written,
+    #: subtrees restored on resume, guard polls and degradations.  All zero
+    #: unless a durability knob was set; resume/degradation never changes
+    #: the coloring, tree or ledger — this record is their only trace.
+    durability: RunDurability = field(default_factory=RunDurability)
 
     @property
     def max_recursion_depth(self) -> int:
@@ -192,20 +197,34 @@ class ColorReduce:
         ell = max(raw_ell, 1.0)
         global_nodes = max(graph.num_nodes, 1)
 
+        durable = None
+        if self.params.durability_enabled():
+            from repro.runtime.durability import DurableRun
+
+            durable = DurableRun.from_params(
+                self.params, "color-reduce", graph, palettes, global_nodes
+            )
         state = _RunState(
             context=context,
             params=self.params,
             global_nodes=global_nodes,
             palettes_are_implicit=palettes_are_implicit,
+            durable=durable,
         )
         health_baseline = None
         if self.params.parallel_workers > 1:
             from repro.parallel.executor import pool_health
 
             health_baseline = pool_health()
-        coloring, ledger, tree = self._color_reduce(
-            graph, palettes.copy(), ell, depth=0, state=state, salt=1
-        )
+        if durable is None:
+            coloring, ledger, tree = self._color_reduce(
+                graph, palettes.copy(), ell, depth=0, state=state, salt=1
+            )
+        else:
+            with durable.active():
+                coloring, ledger, tree = self._color_reduce(
+                    graph, palettes.copy(), ell, depth=0, state=state, salt=1
+                )
         run_health = PoolHealth()
         if health_baseline is not None:
             from repro.parallel.executor import pool_health
@@ -224,12 +243,66 @@ class ColorReduce:
             total_bad_nodes=state.total_bad_nodes,
             total_invariant_violations=state.total_invariant_violations,
             pool_health=run_health,
+            durability=durable.telemetry if durable is not None else RunDurability(),
         )
 
     # ------------------------------------------------------------------
     # the recursion
     # ------------------------------------------------------------------
     def _color_reduce(
+        self,
+        graph: Graph,
+        palettes: PaletteAssignment,
+        ell: float,
+        depth: int,
+        state: "_RunState",
+        salt: int = 1,
+        prefetched=None,
+    ) -> tuple[Dict[NodeId, Color], CostLedger, RecursionNode]:
+        """One node of the recursion, through the durability layer.
+
+        Without durability knobs this is a zero-overhead passthrough to
+        :meth:`_color_reduce_node`.  With them, every entry polls the
+        guardrails/signal flag, a salt with a checkpointed entry is
+        *restored* (its recorded coloring, ledger copy and tree node are
+        returned without recomputing — deterministic replay makes this
+        bit-identical), and every completed shallow subtree is *recorded*
+        into the checkpoint frontier.
+        """
+        durable = state.durable
+        if durable is None:
+            return self._color_reduce_node(
+                graph, palettes, ell, depth, state, salt, prefetched
+            )
+        durable.poll()
+        entry = durable.restored(salt)
+        if entry is not None:
+            state.total_bad_nodes += entry["bad_nodes"]
+            state.total_invariant_violations += entry["violations"]
+            return dict(entry["coloring"]), entry["ledger"].copy(), entry["tree"]
+        before_bad = state.total_bad_nodes
+        before_violations = state.total_invariant_violations
+        durable.enter(salt)
+        try:
+            coloring, ledger, node = self._color_reduce_node(
+                graph, palettes, ell, depth, state, salt, prefetched
+            )
+        finally:
+            durable.exit(salt)
+        durable.completed(
+            salt,
+            depth,
+            lambda: {
+                "coloring": dict(coloring),
+                "ledger": ledger.copy(),
+                "tree": node,
+                "bad_nodes": state.total_bad_nodes - before_bad,
+                "violations": state.total_invariant_violations - before_violations,
+            },
+        )
+        return coloring, ledger, node
+
+    def _color_reduce_node(
         self,
         graph: Graph,
         palettes: PaletteAssignment,
@@ -293,6 +366,7 @@ class ColorReduce:
             context=state.context,
             salt=salt,
             cost=prefetched,
+            poll=state.durable.poll if state.durable is not None else None,
         )
         node.num_bins = partition.num_bins
         node.num_bad_nodes = partition.num_bad_nodes
@@ -323,7 +397,9 @@ class ColorReduce:
         # to the per-bin evaluator inside the child's Partition call, with
         # bit-identical selections either way.
         prefetched_costs: Dict[int, object] = {}
-        if self._level_prefetch_enabled():
+        if self._level_prefetch_enabled() and (
+            state.durable is None or state.durable.prefetch_allowed
+        ):
             eligible = [
                 (
                     bin_instance.bin_index,
@@ -335,6 +411,12 @@ class ColorReduce:
                 if bin_instance.graph.size() >= LEVEL_PREFETCH_MIN_SIZE
                 and self._will_partition(
                     bin_instance.graph, bin_instance.palettes, depth + 1, state
+                )
+                # A bin whose subtree will be restored from the checkpoint
+                # never reaches its Partition call — don't score it.
+                and (
+                    state.durable is None
+                    or not state.durable.has(child_salt(salt, bin_instance.bin_index))
                 )
             ]
             if eligible:
@@ -668,3 +750,7 @@ class _RunState:
     strict_invariants: bool = False
     total_bad_nodes: int = 0
     total_invariant_violations: int = 0
+    #: The run's :class:`repro.runtime.durability.DurableRun`, or ``None``
+    #: when no durability knob is set (the recursion then bypasses the
+    #: durability layer entirely).
+    durable: Optional[object] = None

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.accounting import CostLedger, PoolHealth
+from repro.accounting import CostLedger, PoolHealth, RunDurability
 from repro.core.level import (
     LEVEL_PREFETCH_MIN_SIZE,
     child_salt,
@@ -95,6 +95,12 @@ class LowSpaceResult:
     #: Recovery events of the parallel scoring pool during this run (see
     #: :attr:`repro.core.color_reduce.ColorReduceResult.pool_health`).
     pool_health: PoolHealth = field(default_factory=PoolHealth)
+    #: Durability telemetry (see
+    #: :attr:`repro.core.color_reduce.ColorReduceResult.durability`).
+    #: Note: the MPC simulator's space telemetry reflects executed work
+    #: only — a resumed run skips the restored subtrees' space charges; the
+    #: bit-identity guarantee covers coloring, tree and ledger.
+    durability: RunDurability = field(default_factory=RunDurability)
 
     @property
     def max_recursion_depth(self) -> int:
@@ -152,17 +158,32 @@ class LowSpaceColorReduce:
                     epsilon=self.params.epsilon,
                 )
             )
+        durable = None
+        if self.params.durability_enabled():
+            from repro.runtime.durability import DurableRun
+
+            durable = DurableRun.from_params(
+                self.params, "low-space", graph, palettes, max(graph.num_nodes, 1)
+            )
         state = _LowSpaceState(
-            simulator=simulator, global_nodes=max(graph.num_nodes, 1)
+            simulator=simulator,
+            global_nodes=max(graph.num_nodes, 1),
+            durable=durable,
         )
         health_baseline = None
         if self.params.parallel_workers > 1:
             from repro.parallel.executor import pool_health
 
             health_baseline = pool_health()
-        coloring, ledger, tree = self._color_reduce(
-            graph, palettes.copy(), depth=0, state=state, salt=1
-        )
+        if durable is None:
+            coloring, ledger, tree = self._color_reduce(
+                graph, palettes.copy(), depth=0, state=state, salt=1
+            )
+        else:
+            with durable.active():
+                coloring, ledger, tree = self._color_reduce(
+                    graph, palettes.copy(), depth=0, state=state, salt=1
+                )
         run_health = PoolHealth()
         if health_baseline is not None:
             from repro.parallel.executor import pool_health
@@ -179,10 +200,56 @@ class LowSpaceColorReduce:
             total_mis_phases=tree.total_mis_phases(),
             simulator=simulator,
             pool_health=run_health,
+            durability=durable.telemetry if durable is not None else RunDurability(),
         )
 
     # ------------------------------------------------------------------
     def _color_reduce(
+        self,
+        graph: Graph,
+        palettes: PaletteAssignment,
+        depth: int,
+        state: "_LowSpaceState",
+        salt: int = 1,
+        prefetched=None,
+    ) -> tuple[Dict[NodeId, Color], CostLedger, LowSpaceRecursionNode]:
+        """One node of the recursion, through the durability layer.
+
+        Same contract as the linear-space driver's wrapper: zero-overhead
+        passthrough without durability knobs; with them, entries poll the
+        guardrails, checkpointed salts are restored (bit-identical replay)
+        and completed shallow subtrees are recorded.
+        """
+        durable = state.durable
+        if durable is None:
+            return self._color_reduce_node(
+                graph, palettes, depth, state, salt, prefetched
+            )
+        durable.poll()
+        entry = durable.restored(salt)
+        if entry is not None:
+            return dict(entry["coloring"]), entry["ledger"].copy(), entry["tree"]
+        durable.enter(salt)
+        try:
+            coloring, ledger, node = self._color_reduce_node(
+                graph, palettes, depth, state, salt, prefetched
+            )
+        finally:
+            durable.exit(salt)
+        durable.completed(
+            salt,
+            depth,
+            lambda: {
+                "coloring": dict(coloring),
+                "ledger": ledger.copy(),
+                "tree": node,
+                "bad_nodes": 0,
+                "violations": 0,
+            },
+        )
+        return coloring, ledger, node
+
+    def _color_reduce_node(
         self,
         graph: Graph,
         palettes: PaletteAssignment,
@@ -221,6 +288,7 @@ class LowSpaceColorReduce:
             charge=lambda label, rounds: ledger.charge(label, rounds),
             salt=salt,
             cost=prefetched,
+            poll=state.durable.poll if state.durable is not None else None,
         )
         node.num_bins = partition.num_bins
         node.low_degree_nodes = partition.low_degree_graph.num_nodes
@@ -249,7 +317,11 @@ class LowSpaceColorReduce:
         # takes the trivial path).  Best-effort: any failure falls back to
         # the per-bin evaluators with bit-identical selections.
         prefetched_costs: Dict[int, object] = {}
-        if self._level_prefetch_enabled() and depth + 1 < self.params.max_recursion_depth:
+        if (
+            self._level_prefetch_enabled()
+            and depth + 1 < self.params.max_recursion_depth
+            and (state.durable is None or state.durable.prefetch_allowed)
+        ):
             eligible = [
                 (
                     bin_instance.bin_index,
@@ -260,6 +332,12 @@ class LowSpaceColorReduce:
                 for bin_instance in partition.color_bins
                 if bin_instance.graph.size() >= LEVEL_PREFETCH_MIN_SIZE
                 and made_progress(bin_instance.graph)
+                # Bins whose subtrees restore from the checkpoint never
+                # reach their Partition call — don't score them.
+                and (
+                    state.durable is None
+                    or not state.durable.has(child_salt(salt, bin_instance.bin_index))
+                )
             ]
             if eligible:
                 try:
@@ -408,3 +486,6 @@ class _LowSpaceState:
 
     simulator: MPCSimulator
     global_nodes: int
+    #: The run's :class:`repro.runtime.durability.DurableRun`, or ``None``
+    #: when no durability knob is set.
+    durable: Optional[object] = None

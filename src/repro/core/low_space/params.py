@@ -76,6 +76,18 @@ class LowSpaceParameters:
     #: :attr:`repro.core.params.ColorReduceParameters.level_use_batch`.
     level_use_batch: bool = True
     mis_independence: int = 4
+    #: Run-level durability knobs (:mod:`repro.runtime`): periodic
+    #: checkpoints to ``checkpoint_path`` (flushed every
+    #: ``checkpoint_every_levels`` recorded subtrees), fingerprint-validated
+    #: resume from ``resume_path``, a soft RSS budget and a wall-clock
+    #: deadline — see
+    #: :attr:`repro.core.params.ColorReduceParameters.checkpoint_path` and
+    #: friends.  Resumed/degraded runs stay bit-identical.
+    checkpoint_path: Optional[str] = None
+    resume_path: Optional[str] = None
+    checkpoint_every_levels: int = 1
+    memory_budget_mb: Optional[float] = None
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.epsilon <= 1.0:
@@ -107,6 +119,15 @@ class LowSpaceParameters:
             )
         if self.parallel_min_slab_pairs is not None and self.parallel_min_slab_pairs < 0:
             raise ConfigurationError("parallel_min_slab_pairs must be >= 0")
+        from repro.core.params import _validate_durability
+
+        _validate_durability(self)
+
+    def durability_enabled(self) -> bool:
+        """Whether any run-level durability knob is set (:mod:`repro.runtime`)."""
+        from repro.core.params import _durability_enabled
+
+        return _durability_enabled(self)
 
     def parallel_recovery_policy(self):
         """The pool's :class:`repro.parallel.executor.RecoveryPolicy`, or

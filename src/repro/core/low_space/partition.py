@@ -76,6 +76,7 @@ class LowSpacePartition:
         classify_machine_level: bool = False,
         salt: int = 0,
         cost=None,
+        poll=None,
     ) -> LowSpacePartitionResult:
         """Execute Algorithm 4 on one instance.
 
@@ -83,7 +84,13 @@ class LowSpacePartition:
         round accounting; ``classify_machine_level`` additionally computes
         the Definition 4.1 machine classification for reporting; ``salt``
         decorrelates the candidate-seed sequences of different recursive
-        calls (see :meth:`repro.core.partition.Partition.select_hash_pair`).
+        calls (see :meth:`repro.core.partition.Partition.select_hash_pair`);
+        ``poll`` is the durable run's guard callback
+        (:meth:`repro.runtime.durability.DurableRun.poll`), invoked at the
+        phase boundaries of this level — after the hash-pair selection and
+        after the bin instances materialise — so deadlines, memory budgets
+        and pending signals are noticed inside long levels.  It either
+        returns or raises; it never changes outcomes.
         ``cost`` may inject a pre-built evaluator for this exact instance
         (the cross-bin level prefetch passes a
         :class:`~repro.core.level.CachedPairCost`); a mismatched injection
@@ -183,6 +190,8 @@ class LowSpacePartition:
             target = 0.0
         selection = selector.select(cost, target_bound=target, charge=wrapped_charge)
         h1, h2 = selection.h1, selection.h2
+        if poll is not None:
+            poll()
 
         # Post-selection classification rides the batch layer when
         # graph_use_batch is on: the selected pair's node-level outcome is
@@ -239,6 +248,8 @@ class LowSpacePartition:
             use_csr=use_batch,
         )
         low_degree_graph = subgraphs[0]
+        if poll is not None:
+            poll()
 
         if use_batch:
             universe, color_bin_ids = color_arrays

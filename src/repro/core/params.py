@@ -119,6 +119,21 @@ class ColorReduceParameters:
         its in-bin degree is reclassified as bad.  With the paper exponents
         this is implied by the invariant (Lemma 3.2); enforcing it explicitly
         keeps the scaled mode unconditionally correct.
+    checkpoint_path / resume_path / checkpoint_every_levels:
+        Run-level durability (:mod:`repro.runtime`): periodically write the
+        completed-subtree frontier to ``checkpoint_path`` (atomic rename;
+        flushed after every ``checkpoint_every_levels``-th recorded
+        subtree), and/or resume a previous run from ``resume_path``
+        (fingerprint-validated; the resumed run's coloring, recursion tree
+        and ledger are bit-identical to an uninterrupted run's).  When only
+        ``resume_path`` is set, new checkpoints keep updating that file.
+    memory_budget_mb / deadline_seconds:
+        Resource guardrails: a soft resident-set budget (degrade
+        gracefully — drop the level prefetch, shrink buffers — then
+        checkpoint and abort with a resumable
+        :class:`~repro.errors.ResourceBudgetExceeded`) and a wall-clock
+        watchdog with the same checkpoint-then-raise contract
+        (:class:`~repro.errors.DeadlineExceededError`).
     """
 
     bin_exponent: float = 0.1
@@ -156,6 +171,11 @@ class ColorReduceParameters:
     #: selection, FIRST_FEASIBLE).
     level_use_batch: bool = True
     enforce_palette_surplus: bool = True
+    checkpoint_path: Optional[str] = None
+    resume_path: Optional[str] = None
+    checkpoint_every_levels: int = 1
+    memory_budget_mb: Optional[float] = None
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.bin_exponent < 1.0:
@@ -186,6 +206,11 @@ class ColorReduceParameters:
             )
         if self.parallel_min_slab_pairs is not None and self.parallel_min_slab_pairs < 0:
             raise ConfigurationError("parallel_min_slab_pairs must be >= 0")
+        _validate_durability(self)
+
+    def durability_enabled(self) -> bool:
+        """Whether any run-level durability knob is set (:mod:`repro.runtime`)."""
+        return _durability_enabled(self)
 
     # ------------------------------------------------------------------
     # alternate constructors
@@ -365,3 +390,30 @@ class ColorReduceParameters:
             # deferred to G_0 exactly like probabilistically-bad nodes.
             return max(4.0, 0.01 * global_nodes, literal)
         return max(1.0, literal)
+
+
+def _validate_durability(params) -> None:
+    """Shared ``__post_init__`` checks of the durability knobs (both param
+    sets carry the same five fields; see :mod:`repro.runtime`)."""
+    if params.checkpoint_every_levels < 1:
+        raise ConfigurationError("checkpoint_every_levels must be at least 1")
+    if params.memory_budget_mb is not None and params.memory_budget_mb <= 0:
+        raise ConfigurationError("memory_budget_mb must be positive")
+    if params.deadline_seconds is not None and params.deadline_seconds <= 0:
+        raise ConfigurationError("deadline_seconds must be positive")
+    if params.checkpoint_path is not None and not str(params.checkpoint_path).strip():
+        raise ConfigurationError("checkpoint_path must not be empty")
+    if params.resume_path is not None and not str(params.resume_path).strip():
+        raise ConfigurationError("resume_path must not be empty")
+
+
+def _durability_enabled(params) -> bool:
+    return any(
+        getattr(params, knob) is not None
+        for knob in (
+            "checkpoint_path",
+            "resume_path",
+            "memory_budget_mb",
+            "deadline_seconds",
+        )
+    )

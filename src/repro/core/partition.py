@@ -168,12 +168,21 @@ class Partition:
         strategy: Optional[SelectionStrategy] = None,
         salt: int = 0,
         cost=None,
+        poll=None,
     ) -> PartitionResult:
         """Execute Algorithm 2 on one instance.
 
         The caller (``ColorReduce``) is responsible for charging the
         communication of actually redistributing the data; this method
         charges only the hash-selection steps (via ``context``).
+
+        ``poll`` is the durable run's guard callback
+        (:meth:`repro.runtime.durability.DurableRun.poll`), invoked at the
+        phase boundaries of this level — after the hash-pair selection and
+        after the bin instances materialise — so deadlines, memory budgets
+        and pending signals are noticed inside long levels, not only
+        between recursion calls.  It either returns or raises a
+        :class:`~repro.errors.RunAbortedError`; it never changes outcomes.
 
         ``cost`` may inject a pre-built evaluator for *this exact*
         instance — the cross-bin level prefetch
@@ -208,6 +217,8 @@ class Partition:
             cost=cost,
         )
         h1, h2 = selection.h1, selection.h2
+        if poll is not None:
+            poll()
         use_batch = self.params.graph_use_batch
         num_color_bins = max(1, self.params.num_bins(ell) - 1)
         # Post-selection classification and palette restriction both ride the
@@ -254,6 +265,8 @@ class Partition:
             use_csr=use_batch,
         )
         bad_graph = subgraphs[0]
+        if poll is not None:
+            poll()
 
         color_bins: List[ColorBinInstance] = []
         if restricted is None:

@@ -84,3 +84,50 @@ class ShardIntegrityError(ParallelExecutionError):
     integrity checks: job/token echo mismatch, wrong shard length, or a
     cost vector that cannot be decoded as floats.  The affected shard is
     re-scored rather than silently corrupting the assembled cost vector."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint file cannot be read back: missing file,
+    wrong magic, truncated payload, or a digest mismatch (the file was
+    corrupted after the atomic rename).  Never raised for a *mismatched*
+    checkpoint — resuming against the wrong graph or parameters is a
+    :class:`ConfigurationError`."""
+
+
+class RunAbortedError(ReproError):
+    """Base class of *controlled* run aborts (resource budget, deadline,
+    signal).  The run stopped at a recursion boundary, wrote a final
+    checkpoint when one was configured, drained the worker pool and
+    unlinked every owned shared-memory segment before raising.
+
+    ``checkpoint_path`` is the file to pass to ``--resume`` (or
+    ``resume_path``) to continue the run bit-identically; ``None`` when no
+    checkpoint was configured."""
+
+    def __init__(self, message: str, checkpoint_path: "str | None" = None) -> None:
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+
+
+class ResourceBudgetExceeded(RunAbortedError):
+    """Raised when the run's resident-set size reached ``memory_budget_mb``
+    after the graceful degradations (prefetch off, buffers shrunk) failed
+    to keep it under budget.  Resumable via the attached checkpoint."""
+
+
+class DeadlineExceededError(RunAbortedError):
+    """Raised when the run exceeded ``deadline_seconds`` of wall-clock
+    time.  Resumable via the attached checkpoint."""
+
+
+class RunInterrupted(RunAbortedError):
+    """Raised when SIGTERM or SIGINT arrived during a durable run.  The
+    in-flight recursion level was finished first, then the shutdown
+    sequence ran (checkpoint, pool drain, shm unlink).  ``signum`` is the
+    delivering signal; the CLI exits with ``128 + signum``."""
+
+    def __init__(
+        self, message: str, signum: int, checkpoint_path: "str | None" = None
+    ) -> None:
+        super().__init__(message, checkpoint_path=checkpoint_path)
+        self.signum = signum

@@ -439,6 +439,16 @@ class SlabExecutor:
         self._loaded_tokens: "OrderedDict[int, tuple]" = OrderedDict()
         self._jobs = itertools.count(1)
         self._closed = False
+        # Reclaim /dev/shm segments leaked by SIGKILLed/OOM-killed owners
+        # before spawning anything: a previous run that died without its
+        # atexit hook leaves repro_<pid>_* files behind, and pool startup
+        # is the natural (and contention-free) moment to sweep them.
+        if self.transport == "shm":
+            from repro.parallel.slabs import sweep_orphan_segments
+
+            swept = sweep_orphan_segments()
+            if swept:
+                self._health_bump("orphan_segments_swept", swept)
         for index in range(num_workers):
             task_queue, process = self._spawn_one(index, fault_plan)
             self._task_queues.append(task_queue)

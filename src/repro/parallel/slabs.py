@@ -256,6 +256,58 @@ def unlink_all_segments() -> None:
 atexit.register(unlink_all_segments)
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign but live
+        return True
+    except OSError:  # pragma: no cover - conservative: assume alive
+        return True
+    return True
+
+
+def sweep_orphan_segments(shm_dir: str = "/dev/shm") -> int:
+    """Unlink ``repro_<pid>_*`` segments whose owner process is dead.
+
+    A SIGKILLed (or OOM-killed) owner never runs its ``atexit`` hook, so
+    its segments survive in ``/dev/shm`` until reboot.  Every segment name
+    embeds the owner's pid (see :func:`publish_arrays`), so a new pool can
+    reclaim them at startup: parse the pid, probe liveness with
+    ``kill(pid, 0)``, and unlink the files of dead owners.  Segments of
+    live owners (a concurrent run) and names that do not parse are left
+    alone, as is this process's own inventory (``_OWNED_SEGMENTS`` covers
+    those).  Returns the number of segments removed; unavailable or
+    non-Linux ``shm_dir`` simply yields 0.
+    """
+    try:
+        entries = os.listdir(shm_dir)
+    except OSError:
+        return 0
+    own_pid = os.getpid()
+    swept = 0
+    for entry in entries:
+        if not entry.startswith(SEGMENT_PREFIX):
+            continue
+        remainder = entry[len(SEGMENT_PREFIX):]
+        pid_text, _, counter = remainder.partition("_")
+        if not pid_text.isdigit() or not counter:
+            continue
+        pid = int(pid_text)
+        if pid == own_pid or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, entry))
+        except FileNotFoundError:
+            continue
+        except OSError:  # pragma: no cover - permissions, races
+            continue
+        swept += 1
+    return swept
+
+
 def release_attached(segment, evaluator=None) -> None:
     """Worker-side detach: drop an evaluator's views and close the handle.
 

@@ -1,0 +1,172 @@
+"""``DurableRun`` — the run-level durability facade the drivers thread.
+
+One object per run bundles the three durability concerns:
+
+* a :class:`~repro.runtime.checkpoint.CheckpointManager` holding the
+  salt-keyed frontier of completed subtrees (resume restores from it,
+  completion records into it);
+* a :class:`~repro.runtime.guard.ResourceGuard` (RSS budget + deadline);
+* a :class:`~repro.runtime.signals.SignalWatcher` (SIGTERM/SIGINT).
+
+The drivers call :meth:`poll` at every recursion entry (and forward it to
+``Partition``'s phase boundaries), :meth:`restored`/:meth:`completed`
+around each call body, and wrap the whole walk in :meth:`active`.  All
+aborts funnel through :meth:`abort`: final checkpoint, pool drain,
+shared-memory unlink, then the typed :class:`~repro.errors.RunAbortedError`
+subclass — a controlled stop at a recursion boundary, always resumable
+when a checkpoint path is configured.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal as _signal
+from typing import Any, Dict, Optional, Tuple
+
+from repro.accounting import RunDurability
+from repro.errors import RunAbortedError, RunInterrupted
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    resume_entries,
+    run_header,
+)
+from repro.runtime.guard import ResourceGuard
+from repro.runtime.signals import SignalWatcher
+
+
+class DurableRun:
+    """Durability state threaded through one driver run via ``_RunState``."""
+
+    def __init__(
+        self,
+        manager: CheckpointManager,
+        guard: ResourceGuard,
+        watcher: Optional[SignalWatcher] = None,
+        telemetry: Optional[RunDurability] = None,
+    ) -> None:
+        self.manager = manager
+        self.guard = guard
+        self.watcher = watcher if watcher is not None else SignalWatcher()
+        self.telemetry = telemetry if telemetry is not None else RunDurability()
+        if manager is not None and manager._telemetry is None:
+            manager._telemetry = self.telemetry
+        self.prefetch_allowed = True
+        self._stack: list = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_params(
+        cls, params: Any, algorithm: str, graph: Any, palettes: Any, global_nodes: int
+    ) -> Optional["DurableRun"]:
+        """Build the run's durability state, or ``None`` when no knob is set."""
+        if not params.durability_enabled():
+            return None
+        header = run_header(algorithm, params, graph, palettes, global_nodes)
+        entries: Dict[int, Dict[str, Any]] = {}
+        if params.resume_path:
+            entries = resume_entries(params.resume_path, header)
+        path = params.checkpoint_path or params.resume_path
+        telemetry = RunDurability()
+        manager = CheckpointManager(
+            path,
+            header,
+            entries=entries,
+            every=params.checkpoint_every_levels,
+            telemetry=telemetry,
+        )
+        guard = ResourceGuard(
+            memory_budget_mb=params.memory_budget_mb,
+            deadline_seconds=params.deadline_seconds,
+        )
+        return cls(manager, guard, telemetry=telemetry)
+
+    # ------------------------------------------------------------------
+    # the driver-facing surface
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def active(self):
+        """Install signal handlers for the walk; flush + restore after."""
+        self.watcher.install()
+        try:
+            yield self
+        finally:
+            self.watcher.restore()
+            self.manager.flush()
+
+    def poll(self) -> None:
+        """One durability check; called at recursion/phase boundaries.
+
+        May raise a :class:`~repro.errors.RunAbortedError` subclass (after
+        checkpointing and cleaning up) — never returns abnormally
+        otherwise.
+        """
+        signum = self.watcher.signum
+        if signum is not None:
+            name = _signal.Signals(signum).name
+            self.abort(
+                RunInterrupted(
+                    f"run interrupted by {name} after finishing the in-flight "
+                    "level",
+                    signum=signum,
+                )
+            )
+        self.guard.poll(self)
+
+    def restored(self, salt: int) -> Optional[Dict[str, Any]]:
+        """The recorded entry for this call, if resuming past it."""
+        entry = self.manager.restored(salt)
+        if entry is not None:
+            self.telemetry.bump("subtrees_restored")
+            self.telemetry.bump("nodes_restored", len(entry["coloring"]))
+        return entry
+
+    def has(self, salt: int) -> bool:
+        """Whether ``salt`` will be restored (prefetch skips such bins)."""
+        return self.manager.has(salt)
+
+    def enter(self, salt: int) -> None:
+        self._stack.append(salt)
+
+    def exit(self, salt: int) -> None:
+        popped = self._stack.pop()
+        assert popped == salt, "unbalanced durable recursion tracking"
+
+    def completed(self, salt: int, depth: int, build_entry) -> None:
+        """Record one completed subtree (after :meth:`exit`)."""
+        self.manager.record(salt, depth, tuple(self._stack), build_entry)
+
+    def disable_prefetch(self) -> None:
+        """Degradation rung 1: no more cross-bin level prefetches."""
+        if self.prefetch_allowed:
+            self.prefetch_allowed = False
+            self.telemetry.bump("prefetch_disabled")
+
+    # ------------------------------------------------------------------
+    # the one-way exit
+    # ------------------------------------------------------------------
+    def abort(self, error: RunAbortedError) -> None:
+        """Checkpoint, drain the pool, unlink shm, then raise ``error``."""
+        self.manager.flush(force=self.manager.path is not None)
+        error.checkpoint_path = self.manager.path
+        try:
+            import sys
+
+            if "repro.parallel.executor" in sys.modules:
+                from repro.parallel.executor import shutdown_executors
+
+                shutdown_executors()
+            if "repro.parallel.slabs" in sys.modules:
+                from repro.parallel.slabs import unlink_all_segments
+
+                unlink_all_segments()
+        except Exception:  # pragma: no cover - cleanup is best-effort
+            pass
+        raise error
+
+
+def restored_ancestors(entries: Dict[int, Dict[str, Any]]) -> Tuple[int, ...]:
+    """All salts appearing as ancestors across a frontier (diagnostics)."""
+    seen = set()
+    for entry in entries.values():
+        seen.update(entry["ancestors"])
+    return tuple(sorted(seen))

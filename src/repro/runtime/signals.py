@@ -1,0 +1,56 @@
+"""Signal-safe shutdown for durable runs.
+
+A :class:`SignalWatcher` swaps lightweight SIGTERM/SIGINT handlers in for
+the duration of one run.  The handler only *records* the signal — all real
+work (finishing the in-flight recursion level, writing the final
+checkpoint, draining the worker pool, unlinking shared-memory segments)
+happens at the next guard poll on the main thread, where it is safe.  The
+previous handlers are restored when the run ends, so nested or subsequent
+runs and the surrounding application see exactly the disposition they
+installed.
+
+Handlers can only be installed from the main thread (a CPython
+restriction); elsewhere the watcher stays dormant and the process keeps
+its default signal behaviour.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Dict, Optional
+
+
+class SignalWatcher:
+    """Record SIGTERM/SIGINT; the durable run acts on them at poll points."""
+
+    SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+    def __init__(self) -> None:
+        self.signum: Optional[int] = None
+        self._previous: Dict[int, object] = {}
+        self._installed = False
+
+    def install(self) -> bool:
+        """Install the recording handlers; ``False`` off the main thread."""
+        if threading.current_thread() is not threading.main_thread():
+            return False
+        for signum in self.SIGNALS:
+            self._previous[signum] = signal.signal(signum, self._handle)
+        self._installed = True
+        return True
+
+    def restore(self) -> None:
+        """Put the previous handlers back (idempotent)."""
+        if not self._installed:
+            return
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover - teardown race
+                pass
+        self._previous.clear()
+        self._installed = False
+
+    def _handle(self, signum, frame) -> None:  # pragma: no cover - async
+        self.signum = signum

@@ -112,3 +112,91 @@ class TestCLI:
         assert code == 2
         assert "error:" in captured.err
         assert "breaker_threshold" in captured.err
+
+
+class TestCLIInputHardening:
+    def test_non_positive_nodes_is_a_one_line_error(self, capsys):
+        assert main(["color", "--nodes", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--nodes must be positive" in err and "Traceback" not in err
+
+    def test_missing_edge_list_file_is_a_one_line_error(self, capsys, tmp_path):
+        assert main(["color", "--edge-list", str(tmp_path / "none.edges")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_edge_list_line_names_path_and_lineno(self, capsys, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1\n1 2\nthree tokens here\n")
+        assert main(["color", "--edge-list", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert f"{path}:3" in err and "Traceback" not in err
+
+    def test_non_integer_endpoint_rejected(self, capsys, tmp_path):
+        path = tmp_path / "nan.edges"
+        path.write_text("0 one\n")
+        assert main(["color", "--edge-list", str(path)]) == 2
+        assert "must be integers" in capsys.readouterr().err
+
+    def test_negative_endpoint_rejected(self, capsys, tmp_path):
+        path = tmp_path / "neg.edges"
+        path.write_text("0 -4\n")
+        assert main(["color", "--edge-list", str(path)]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_self_loop_rejected(self, capsys, tmp_path):
+        path = tmp_path / "loop.edges"
+        path.write_text("0 1\n2 2\n")
+        assert main(["color", "--edge-list", str(path)]) == 2
+        assert "self-loop" in capsys.readouterr().err
+
+    def test_empty_edge_list_rejected(self, capsys, tmp_path):
+        path = tmp_path / "empty.edges"
+        path.write_text("# only comments\n\n")
+        assert main(["color", "--edge-list", str(path)]) == 2
+        assert "no edges" in capsys.readouterr().err
+
+    def test_edge_list_conflicts_with_workload(self, capsys, tmp_path):
+        path = tmp_path / "ok.edges"
+        path.write_text("0 1\n")
+        code = main(
+            ["color", "--edge-list", str(path), "--workload", "dense-random-lists"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_edge_list_conflicts_with_nodes(self, capsys, tmp_path):
+        path = tmp_path / "ok.edges"
+        path.write_text("0 1\n")
+        assert main(["color", "--edge-list", str(path), "--nodes", "10"]) == 2
+        assert "conflicts with --edge-list" in capsys.readouterr().err
+
+    def test_missing_resume_file_is_a_one_line_error(self, capsys):
+        assert main(["color", "--resume", "/definitely/not/there.ckpt"]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err and "Traceback" not in err
+
+    def test_checkpoint_cadence_without_checkpoint_rejected(self, capsys):
+        assert main(["color", "--checkpoint-every-levels", "3"]) == 2
+        assert "requires --checkpoint" in capsys.readouterr().err
+
+    def test_comments_and_blank_lines_ignored(self, capsys, tmp_path):
+        path = tmp_path / "commented.edges"
+        path.write_text(
+            "# a demo graph\n\n0 1  # an inline comment\n1 2\n2 3\n3 0\n0 2\n1 3\n"
+        )
+        code = main(
+            ["color", "--edge-list", str(path), "--algorithm", "low-space"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "edge-list" in out and "n=4" in out
+
+    def test_durability_summary_printed_when_knobs_set(self, capsys, tmp_path):
+        ck = str(tmp_path / "sum.ckpt")
+        assert main(["color", "--nodes", "120", "--checkpoint", ck]) == 0
+        out = capsys.readouterr().out
+        assert "durability:" in out and "checkpoints_written=" in out
+
+    def test_no_durability_summary_without_knobs(self, capsys):
+        assert main(["color", "--nodes", "120"]) == 0
+        assert "durability:" not in capsys.readouterr().out
