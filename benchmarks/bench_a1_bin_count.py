@@ -1,11 +1,28 @@
-"""A1 — ablation: per-level bin count (the paper's ``l^0.1`` knob)."""
+"""A1 — ablation: per-level bin count (the paper's ``l^0.1`` knob).
+
+Headline numbers are also emitted as ``BENCH_a1.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments.ablations import run_a1_bin_count
 
 
 def test_a1_bin_count(benchmark, experiment_scale):
     result = run_once(benchmark, run_a1_bin_count, experiment_scale)
+    emit_bench_json(
+        "a1",
+        [
+            {
+                "op": "bin-count-ablation",
+                "scale": experiment_scale,
+                "max_depth": result.headline["max_depth"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     assert result.headline["max_depth"] <= 9

@@ -1,11 +1,30 @@
-"""A2 — ablation: hash-pair selection strategies (Section 2.4 machinery)."""
+"""A2 — ablation: hash-pair selection strategies (Section 2.4 machinery).
+
+Headline numbers are also emitted as ``BENCH_a2.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments.ablations import run_a2_selection_strategy
 
 
 def test_a2_selection_strategy(benchmark, experiment_scale):
     result = run_once(benchmark, run_a2_selection_strategy, experiment_scale)
+    emit_bench_json(
+        "a2",
+        [
+            {
+                "op": "selection-strategy-ablation",
+                "scale": experiment_scale,
+                "guaranteed_strategies_ok": result.headline[
+                    "guaranteed_strategies_ok"
+                ],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     assert result.headline["guaranteed_strategies_ok"] == 1.0

@@ -1,12 +1,29 @@
-"""A3 — ablation: the c-wise independence parameter."""
+"""A3 — ablation: the c-wise independence parameter.
+
+Headline numbers are also emitted as ``BENCH_a3.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments.ablations import run_a3_independence
 
 
 def test_a3_independence(benchmark, experiment_scale):
     result = run_once(benchmark, run_a3_independence, experiment_scale)
+    emit_bench_json(
+        "a3",
+        [
+            {
+                "op": "independence-ablation",
+                "scale": experiment_scale,
+                "max_bad_nodes": result.headline["max_bad_nodes"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     # Bad-node counts stay tiny for every tested c.
     assert result.headline["max_bad_nodes"] <= 16

@@ -1,11 +1,28 @@
-"""A4 — ablation: the local-collection threshold (base-case constant)."""
+"""A4 — ablation: the local-collection threshold (base-case constant).
+
+Headline numbers are also emitted as ``BENCH_a4.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments.ablations import run_a4_collect_threshold
 
 
 def test_a4_collect_threshold(benchmark, experiment_scale):
     result = run_once(benchmark, run_a4_collect_threshold, experiment_scale)
+    emit_bench_json(
+        "a4",
+        [
+            {
+                "op": "collect-threshold-ablation",
+                "scale": experiment_scale,
+                "max_depth": result.headline["max_depth"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     assert result.headline["max_depth"] <= 9

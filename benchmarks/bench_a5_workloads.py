@@ -1,11 +1,28 @@
-"""A5 — named workload sweep across both algorithms."""
+"""A5 — named workload sweep across both algorithms.
+
+Headline numbers are also emitted as ``BENCH_a5.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments.ablations import run_a5_workload_sweep
 
 
 def test_a5_workloads(benchmark, experiment_scale):
     result = run_once(benchmark, run_a5_workload_sweep, experiment_scale)
+    emit_bench_json(
+        "a5",
+        [
+            {
+                "op": "workload-sweep",
+                "scale": experiment_scale,
+                "workloads": result.headline["workloads"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     assert result.headline["workloads"] >= 5

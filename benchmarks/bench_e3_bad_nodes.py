@@ -1,13 +1,33 @@
-"""E3 — Lemma 3.9 / Corollary 3.10: bad bins, bad nodes and the size of G0."""
+"""E3 — Lemma 3.9 / Corollary 3.10: bad bins, bad nodes and the size of G0.
+
+Headline numbers are also emitted as ``BENCH_e3.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments import run_e3_bad_nodes
 
 
 def test_e3_bad_nodes(benchmark, experiment_scale):
     result = run_once(benchmark, run_e3_bad_nodes, experiment_scale)
+    emit_bench_json(
+        "e3",
+        [
+            {
+                "op": "bad-nodes",
+                "scale": experiment_scale,
+                "max_deterministic_bad_bins": result.headline[
+                    "max_deterministic_bad_bins"
+                ],
+                "max_g0_over_n": result.headline["max_g0_over_n"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     # Lemma 3.9: the derandomized selection never produces a bad bin.
     assert result.headline["max_deterministic_bad_bins"] == 0
     # Corollary 3.10: the bad graph G0 has size O(n) (constant factor 4 here).

@@ -1,13 +1,31 @@
-"""E4 — Section 1.3: constant rounds vs the logarithmic-round prior art."""
+"""E4 — Section 1.3: constant rounds vs the logarithmic-round prior art.
+
+Headline numbers are also emitted as ``BENCH_e4.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments import run_e4_baseline_rounds
 
 
 def test_e4_baseline_rounds(benchmark, experiment_scale):
     result = run_once(benchmark, run_e4_baseline_rounds, experiment_scale)
+    emit_bench_json(
+        "e4",
+        [
+            {
+                "op": "baseline-rounds",
+                "scale": experiment_scale,
+                "max_depth": result.headline["max_depth"],
+                "max_trial_rounds": result.headline["max_trial_rounds"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     # Our recursion depth stays within the constant bound while the baselines
     # need at least a handful of logarithmic phases.
     assert result.headline["max_depth"] <= 9

@@ -1,13 +1,35 @@
-"""E5 — Theorem 1.4: low-space MPC (deg+1)-list coloring round envelope."""
+"""E5 — Theorem 1.4: low-space MPC (deg+1)-list coloring round envelope.
+
+Headline numbers are also emitted as ``BENCH_e5.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments import run_e5_low_space
 
 
 def test_e5_low_space(benchmark, experiment_scale):
     result = run_once(benchmark, run_e5_low_space, experiment_scale)
+    emit_bench_json(
+        "e5",
+        [
+            {
+                "op": "low-space-rounds",
+                "scale": experiment_scale,
+                "max_rounds_over_reference": result.headline[
+                    "max_rounds_over_reference"
+                ],
+                "min_rounds_over_reference": result.headline[
+                    "min_rounds_over_reference"
+                ],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     # The measured rounds stay within a bounded multiple of the
     # O(log Delta + log log n) reference curve across the sweep.  (The
     # multiple absorbs the 2^depth leftover-chain factor, which is a constant

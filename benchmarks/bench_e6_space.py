@@ -1,12 +1,31 @@
-"""E6 — Theorems 1.2/1.3: local and total space accounting."""
+"""E6 — Theorems 1.2/1.3: local and total space accounting.
+
+Headline numbers are also emitted as ``BENCH_e6.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments import run_e6_space_accounting
 
 
 def test_e6_space(benchmark, experiment_scale):
     result = run_once(benchmark, run_e6_space_accounting, experiment_scale)
+    emit_bench_json(
+        "e6",
+        [
+            {
+                "op": "space-accounting",
+                "scale": experiment_scale,
+                "worst_local_utilisation": result.headline[
+                    "worst_local_utilisation"
+                ],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     # Peak local usage never exceeds the O(n) budget (utilisation <= 1).
     assert result.headline["worst_local_utilisation"] <= 1.0

@@ -1,13 +1,30 @@
-"""E7 — Lemma 3.8 / Section 2.4: derandomized hash-pair selection."""
+"""E7 — Lemma 3.8 / Section 2.4: derandomized hash-pair selection.
+
+Headline numbers are also emitted as ``BENCH_e7.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments import run_e7_derandomization
 
 
 def test_e7_derandomization(benchmark, experiment_scale):
     result = run_once(benchmark, run_e7_derandomization, experiment_scale)
+    emit_bench_json(
+        "e7",
+        [
+            {
+                "op": "derandomized-selection",
+                "scale": experiment_scale,
+                "max_selected_cost": result.headline["max_selected_cost"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     # The selected pair's cost never exceeds the achievable bound by more than
     # the bound itself (it is verified against max(bound, sampled E[cost])).
     assert result.headline["max_selected_cost"] < float("inf")

@@ -1,12 +1,29 @@
-"""E8 — Lemma 3.2 / Corollary 3.3: the palette/degree invariant."""
+"""E8 — Lemma 3.2 / Corollary 3.3: the palette/degree invariant.
+
+Headline numbers are also emitted as ``BENCH_e8.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments import run_e8_invariants
 
 
 def test_e8_invariants(benchmark, experiment_scale):
     result = run_once(benchmark, run_e8_invariants, experiment_scale)
+    emit_bench_json(
+        "e8",
+        [
+            {
+                "op": "palette-degree-invariant",
+                "scale": experiment_scale,
+                "total_violations": result.headline["total_violations"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     # The correctness condition d'(v) < p'(v) is never violated at any level.
     assert result.headline["total_violations"] == 0

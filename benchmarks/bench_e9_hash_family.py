@@ -1,12 +1,29 @@
-"""E9 — Lemmas 2.2/2.4: the bounded-independence hashing substrate."""
+"""E9 — Lemmas 2.2/2.4: the bounded-independence hashing substrate.
+
+Headline numbers are also emitted as ``BENCH_e9.json`` (``gate: false`` —
+see ``bench_e1_constant_rounds.py``).
+"""
 
 from __future__ import annotations
 
+from bench_json import emit_bench_json
 from benchmarks.conftest import run_once
 from repro.experiments import run_e9_hash_family
 
 
 def test_e9_hash_family(benchmark, experiment_scale):
     result = run_once(benchmark, run_e9_hash_family, experiment_scale)
+    emit_bench_json(
+        "e9",
+        [
+            {
+                "op": "hash-family-tails",
+                "scale": experiment_scale,
+                "bound_violations": result.headline["bound_violations"],
+                "speedup": 0.0,
+                "gate": False,
+            }
+        ],
+    )
     # Empirical tail frequencies never exceed the Bellare-Rompel bound.
     assert result.headline["bound_violations"] == 0

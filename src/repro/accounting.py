@@ -209,6 +209,65 @@ class PoolHealth:
 
 
 @dataclass
+class ServiceTelemetry:
+    """Traffic telemetry of one coloring service (:mod:`repro.service`).
+
+    The service layer counts every lifecycle event here — the process-wide
+    audit complement to the per-job audit trails.  ``/v1/healthz`` exposes
+    the record, and the cache counters are what the service tests assert
+    when they require "zero recompute" on a repeat submission: a cache hit
+    bumps ``cache_hits`` and *nothing else* (in particular not
+    ``jobs_computed``).
+
+    Attributes
+    ----------
+    jobs_submitted:
+        Submissions accepted (validated and enqueued or served from cache).
+    jobs_rejected:
+        Submissions rejected by request validation (bad graph, bad params).
+    jobs_computed:
+        Jobs whose coloring was actually computed by the engine (cache
+        misses that ran to completion).
+    jobs_failed:
+        Jobs that ended in the ``failed`` state.
+    jobs_cancelled:
+        Jobs cancelled (while queued, or mid-run via the cooperative
+        cancel token).
+    jobs_resumed:
+        Resume requests accepted (a cancelled/checkpointed job re-queued).
+    cache_hits:
+        Results served from the content-addressed cache without recompute.
+    cache_misses:
+        Cache lookups that found nothing and went to the executor.
+    cache_stores:
+        Result payloads written into the cache.
+    """
+
+    jobs_submitted: int = 0
+    jobs_rejected: int = 0
+    jobs_computed: int = 0
+    jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    jobs_resumed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment one counter by ``amount`` (the counter must exist)."""
+        setattr(self, counter, getattr(self, counter) + amount)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    def summary(self) -> str:
+        """One-line ``name=value`` rendering (logs and ``/v1/healthz``)."""
+        return " ".join(
+            f"{spec.name}={getattr(self, spec.name)}" for spec in fields(self)
+        )
+
+
+@dataclass
 class RunDurability:
     """Durability telemetry of one run (:mod:`repro.runtime`).
 

@@ -187,6 +187,75 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("experiment_id", help="experiment id, e.g. E3")
     experiment.add_argument("--scale", choices=("smoke", "default", "full"), default="smoke")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the coloring service (async jobs + result cache); see docs/SERVICE.md",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port; 0 picks an ephemeral port (default 8642)",
+    )
+    serve.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="executor threads = jobs computed concurrently (default 2)",
+    )
+    serve.add_argument(
+        "--spool-dir",
+        default=".repro-service",
+        metavar="DIR",
+        help=(
+            "root of the service's on-disk state: per-job checkpoints "
+            "(jobs/<id>/run.ckpt) and the persisted result cache (cache/)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="in-memory result-cache entries kept, LRU (default 256)",
+    )
+    serve.add_argument(
+        "--no-cache-persist",
+        action="store_true",
+        help="keep the result cache in memory only (skip spool-dir/cache)",
+    )
+    serve.add_argument(
+        "--max-nodes",
+        type=int,
+        default=200_000,
+        help="reject submissions with more nodes than this (default 200000)",
+    )
+    serve.add_argument(
+        "--max-edges",
+        type=int,
+        default=2_000_000,
+        help="reject submissions with more edges than this (default 2000000)",
+    )
+    serve.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help=(
+            "per-job soft RSS budget; a job over budget checkpoints into "
+            "the resumable 'checkpointed' state instead of being killed"
+        ),
+    )
+    serve.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-clock deadline; over-deadline jobs checkpoint resumably",
+    )
+
     subparsers.add_parser("list-experiments", help="list the registered experiments")
     subparsers.add_parser("list-workloads", help="list the named workloads")
     return parser
@@ -261,52 +330,15 @@ def _durability_overrides(args: argparse.Namespace) -> dict:
 
 
 def _load_edge_list(path: str):
-    """Parse an edge-list file into a :class:`~repro.graph.graph.Graph`.
+    """Parse an edge-list file (delegates to :mod:`repro.graph.io`).
 
-    Format: one ``u v`` pair of non-negative integers per line; blank
-    lines and ``#`` comments are ignored.  Every malformed line is a
-    :class:`ConfigurationError` naming ``path:lineno`` so the message is
-    actionable, and self-loops are rejected (a node cannot constrain its
-    own color).
+    The service layer's ``edge_list`` submissions go through the same
+    parser, so both front ends reject malformed input with identical
+    ``path:lineno`` messages.
     """
-    from repro.graph.graph import Graph
+    from repro.graph.io import load_edge_list_file
 
-    edges = []
-    nodes = set()
-    try:
-        handle = open(path, "r", encoding="utf-8")
-    except OSError as exc:
-        raise ConfigurationError(f"--edge-list {path}: {exc.strerror or exc}") from exc
-    with handle:
-        for lineno, line in enumerate(handle, start=1):
-            text = line.split("#", 1)[0].strip()
-            if not text:
-                continue
-            parts = text.split()
-            if len(parts) != 2:
-                raise ConfigurationError(
-                    f"{path}:{lineno}: expected 'u v', got {text!r}"
-                )
-            try:
-                u, v = int(parts[0]), int(parts[1])
-            except ValueError:
-                raise ConfigurationError(
-                    f"{path}:{lineno}: endpoints must be integers, got {text!r}"
-                ) from None
-            if u < 0 or v < 0:
-                raise ConfigurationError(
-                    f"{path}:{lineno}: endpoints must be non-negative, got {text!r}"
-                )
-            if u == v:
-                raise ConfigurationError(
-                    f"{path}:{lineno}: self-loop {u}-{v} is not a valid edge"
-                )
-            edges.append((u, v))
-            nodes.add(u)
-            nodes.add(v)
-    if not edges:
-        raise ConfigurationError(f"--edge-list {path}: no edges found")
-    return Graph.from_edges(edges, nodes=sorted(nodes))
+    return load_edge_list_file(path, flag="--edge-list")
 
 
 def _resolve_instance(args: argparse.Namespace):
@@ -381,6 +413,25 @@ def _run_color(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import serve
+    from repro.service.settings import ServiceSettings
+
+    settings = ServiceSettings(
+        host=args.host,
+        port=args.port,
+        workers=args.service_workers,
+        spool_dir=args.spool_dir,
+        cache_capacity=args.cache_capacity,
+        persist_cache=not args.no_cache_persist,
+        max_nodes=args.max_nodes,
+        max_edges=args.max_edges,
+        memory_budget_mb=args.memory_budget_mb,
+        deadline_seconds=args.deadline_seconds,
+    )
+    return serve(settings)
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment_id)
     print(f"{spec.experiment_id}: {spec.claim}  [{spec.paper_reference}]")
@@ -414,6 +465,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_color(args)
         if args.command == "experiment":
             return _run_experiment(args)
+        if args.command == "serve":
+            return _run_serve(args)
         if args.command == "list-experiments":
             return _list_experiments()
         if args.command == "list-workloads":

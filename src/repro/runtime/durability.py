@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import contextlib
 import signal as _signal
+import threading
 from typing import Any, Dict, Optional, Tuple
 
 from repro.accounting import RunDurability
@@ -32,6 +33,49 @@ from repro.runtime.checkpoint import (
 )
 from repro.runtime.guard import ResourceGuard
 from repro.runtime.signals import SignalWatcher
+
+
+#: Thread-local supervision slot (see :func:`supervised`).  The service
+#: layer's job executor runs each driver call inside ``supervised(...)``;
+#: the slot is thread-local so concurrent jobs on different executor
+#: threads each see only their own supervisor.
+_SUPERVISION = threading.local()
+
+
+@contextlib.contextmanager
+def supervised(supervisor):
+    """Run a driver under an external *supervisor* (the service job layer).
+
+    A supervisor is duck-typed with three members:
+
+    * ``watcher`` — a :class:`~repro.runtime.signals.SignalWatcher`-shaped
+      object (``install()``/``restore()``/``signum``) the
+      :class:`DurableRun` polls instead of installing real signal
+      handlers.  Setting ``signum`` from another thread cancels the run at
+      its next poll point, with the full shutdown contract (final
+      checkpoint, pool drain, shm unlink) — a *cooperative* SIGINT that
+      works off the main thread;
+    * ``attach(run)`` — called with the freshly built :class:`DurableRun`
+      so the supervisor can read live telemetry while the run executes;
+    * ``on_subtree(manager, depth)`` — called after every completed (or
+      restored) subtree recording, the driver's natural progress tick.
+
+    The drivers themselves are oblivious: :meth:`DurableRun.from_params`
+    picks the supervisor up from this thread-local slot, so no driver
+    signature changes and runs outside ``supervised(...)`` behave exactly
+    as before.
+    """
+    previous = getattr(_SUPERVISION, "current", None)
+    _SUPERVISION.current = supervisor
+    try:
+        yield supervisor
+    finally:
+        _SUPERVISION.current = previous
+
+
+def current_supervisor():
+    """The supervisor of the calling thread's ``supervised`` block, if any."""
+    return getattr(_SUPERVISION, "current", None)
 
 
 class DurableRun:
@@ -51,6 +95,7 @@ class DurableRun:
         if manager is not None and manager._telemetry is None:
             manager._telemetry = self.telemetry
         self.prefetch_allowed = True
+        self.supervisor = None
         self._stack: list = []
 
     # ------------------------------------------------------------------
@@ -78,7 +123,13 @@ class DurableRun:
             memory_budget_mb=params.memory_budget_mb,
             deadline_seconds=params.deadline_seconds,
         )
-        return cls(manager, guard, telemetry=telemetry)
+        supervisor = current_supervisor()
+        watcher = getattr(supervisor, "watcher", None)
+        run = cls(manager, guard, watcher=watcher, telemetry=telemetry)
+        if supervisor is not None:
+            run.supervisor = supervisor
+            supervisor.attach(run)
+        return run
 
     # ------------------------------------------------------------------
     # the driver-facing surface
@@ -118,6 +169,8 @@ class DurableRun:
         if entry is not None:
             self.telemetry.bump("subtrees_restored")
             self.telemetry.bump("nodes_restored", len(entry["coloring"]))
+            if self.supervisor is not None:
+                self.supervisor.on_subtree(self.manager, entry["depth"])
         return entry
 
     def has(self, salt: int) -> bool:
@@ -133,7 +186,9 @@ class DurableRun:
 
     def completed(self, salt: int, depth: int, build_entry) -> None:
         """Record one completed subtree (after :meth:`exit`)."""
-        self.manager.record(salt, depth, tuple(self._stack), build_entry)
+        recorded = self.manager.record(salt, depth, tuple(self._stack), build_entry)
+        if recorded and self.supervisor is not None:
+            self.supervisor.on_subtree(self.manager, depth)
 
     def disable_prefetch(self) -> None:
         """Degradation rung 1: no more cross-bin level prefetches."""

@@ -1,0 +1,39 @@
+"""Coloring-as-a-service: the async job layer over the repro engine.
+
+Submit a graph, poll the job, fetch the bit-identical result — with a
+content-addressed cache in front (compute each distinct instance once)
+and the runtime durability layer underneath (cancel and crash are
+resumable stops, not lost work).  ``docs/SERVICE.md`` is the service
+contract; ``python -m repro serve`` boots an instance.
+"""
+
+from repro.service.cache import ResultCache, cache_key
+from repro.service.contracts import ALGORITHMS, Submission, parse_submission
+from repro.service.executor import CancelToken, JobExecutor, JobSupervisor
+from repro.service.jobs import (
+    InvalidTransitionError,
+    JobRecord,
+    JobState,
+    JobStore,
+    UnknownJobError,
+)
+from repro.service.service import ColoringService
+from repro.service.settings import ServiceSettings
+
+__all__ = [
+    "ALGORITHMS",
+    "CancelToken",
+    "ColoringService",
+    "InvalidTransitionError",
+    "JobExecutor",
+    "JobRecord",
+    "JobState",
+    "JobStore",
+    "JobSupervisor",
+    "ResultCache",
+    "ServiceSettings",
+    "Submission",
+    "UnknownJobError",
+    "cache_key",
+    "parse_submission",
+]

@@ -1,0 +1,224 @@
+"""The HTTP front end: stdlib-only JSON routes over the service facade.
+
+Endpoints (the contract is documented with examples in
+``docs/SERVICE.md``)::
+
+    GET  /v1/healthz              liveness, occupancy, cache + telemetry
+    POST /v1/jobs                 submit a graph (JSON body)
+    GET  /v1/jobs                 job index
+    GET  /v1/jobs/<id>            status + progress + audit trail
+    GET  /v1/jobs/<id>/events     NDJSON progress stream (until terminal)
+    GET  /v1/jobs/<id>/result     the coloring result payload
+    POST /v1/jobs/<id>/cancel     cooperative, resumable cancellation
+    POST /v1/jobs/<id>/resume     re-queue a cancelled/checkpointed job
+
+Error contract: validation failures are 400, unknown job ids 404, illegal
+lifecycle requests 409 — each as ``{"error": "<actionable message>"}``.
+
+Built on :class:`http.server.ThreadingHTTPServer` so the service adds no
+dependency beyond the standard library; anything heavier (TLS, auth,
+horizontal scaling) belongs in a fronting proxy.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.service.jobs import InvalidTransitionError, JobState, UnknownJobError
+from repro.service.service import ColoringService
+from repro.service.settings import ServiceSettings
+
+#: Largest request body accepted, matching the submit limits' spirit: a
+#: 2M-edge edge list fits comfortably; a multi-GB body is a client bug.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_JOB_ID = r"(?P<job_id>[A-Za-z0-9-]+)"
+
+#: ``(method, compiled path regex) -> handler name`` — the route table.
+ROUTES: Tuple[Tuple[str, "re.Pattern[str]", str], ...] = (
+    ("GET", re.compile(r"^/v1/healthz$"), "healthz"),
+    ("POST", re.compile(r"^/v1/jobs$"), "submit"),
+    ("GET", re.compile(r"^/v1/jobs$"), "jobs"),
+    ("GET", re.compile(rf"^/v1/jobs/{_JOB_ID}$"), "status"),
+    ("GET", re.compile(rf"^/v1/jobs/{_JOB_ID}/events$"), "events"),
+    ("GET", re.compile(rf"^/v1/jobs/{_JOB_ID}/result$"), "result"),
+    ("POST", re.compile(rf"^/v1/jobs/{_JOB_ID}/cancel$"), "cancel"),
+    ("POST", re.compile(rf"^/v1/jobs/{_JOB_ID}/resume$"), "resume"),
+)
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Dispatch one request to the facade; render JSON; map errors."""
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Populated by make_server():
+    service: ColoringService
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # endpoint access is recorded in job audit trails, not stderr
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        for route_method, pattern, name in ROUTES:
+            match = pattern.match(path)
+            if match and route_method == method:
+                try:
+                    getattr(self, f"_handle_{name}")(**match.groupdict())
+                except UnknownJobError as exc:
+                    self._send_json({"error": str(exc)}, status=404)
+                except InvalidTransitionError as exc:
+                    self._send_json({"error": str(exc)}, status=409)
+                except ConfigurationError as exc:
+                    self._send_json({"error": str(exc)}, status=400)
+                except BrokenPipeError:  # client went away mid-stream
+                    pass
+                return
+        if any(pattern.match(path) for _, pattern, _ in ROUTES):
+            self._send_json({"error": f"method {method} not allowed on {path}"}, 405)
+        else:
+            self._send_json({"error": f"no route for {path}"}, status=404)
+
+    # ------------------------------------------------------------------
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ConfigurationError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ConfigurationError("request body must be a JSON object")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"request body is not valid JSON: {exc}") from exc
+
+    def _send_json(self, document: Dict[str, Any], status: int = 200) -> None:
+        body = (json.dumps(document, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- handlers -------------------------------------------------------
+    def _handle_healthz(self) -> None:
+        self._send_json(self.service.healthz())
+
+    def _handle_submit(self) -> None:
+        document = self.service.submit(self._read_body())
+        self._send_json(document, status=202)
+
+    def _handle_jobs(self) -> None:
+        self._send_json(self.service.jobs())
+
+    def _handle_status(self, job_id: str) -> None:
+        self._send_json(self.service.status(job_id))
+
+    def _handle_result(self, job_id: str) -> None:
+        self._send_json(self.service.result(job_id))
+
+    def _handle_cancel(self, job_id: str) -> None:
+        self._send_json(self.service.cancel(job_id))
+
+    def _handle_resume(self, job_id: str) -> None:
+        self._send_json(self.service.resume(job_id))
+
+    def _handle_events(self, job_id: str) -> None:
+        """Stream status snapshots as NDJSON until the job stops moving.
+
+        One JSON document per line, emitted whenever (state, progress)
+        changes, closing after a terminal or parked state — the polling
+        loop of the quickstart, server-side.
+        """
+        self.service.store.get(job_id)  # 404 before committing to a stream
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        interval = self.service.settings.poll_interval_seconds
+        last: Optional[str] = None
+        while True:
+            document = self.service.status(job_id)
+            frame = json.dumps(
+                {
+                    "job": document["job"],
+                    "state": document["state"],
+                    "progress": document["progress"],
+                    "error": document["error"],
+                }
+            )
+            if frame != last:
+                self._write_chunk(frame + "\n")
+                last = frame
+            if document["state"] != JobState.RUNNING and document["state"] != JobState.QUEUED:
+                break
+            time.sleep(interval)
+        self._write_chunk("")  # terminating chunk
+
+    def _write_chunk(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n")
+        self.wfile.flush()
+
+
+def make_server(service: ColoringService) -> ThreadingHTTPServer:
+    """A bound (not yet serving) HTTP server over ``service``."""
+    handler = type("BoundServiceHandler", (ServiceHandler,), {"service": service})
+    server = ThreadingHTTPServer(
+        (service.settings.host, service.settings.port), handler
+    )
+    server.daemon_threads = True
+    return server
+
+
+def serve(settings: Optional[ServiceSettings] = None) -> int:
+    """Run the service until SIGTERM/SIGINT; exit 0 on a clean shutdown.
+
+    Shutdown drains the executor (running jobs checkpoint and become
+    resumable), closes the listener, shuts the scoring pools down and
+    unlinks every owned shared-memory segment — a stopped service leaves
+    only its spool directory behind.
+    """
+    service = ColoringService(settings)
+    server = make_server(service)
+    host, port = server.server_address[0], server.server_address[1]
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: Any) -> None:
+        stop.set()
+        # shutdown() must come from another thread than serve_forever()'s.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        signum: signal.signal(signum, _request_stop)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    print(f"repro service listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.server_close()
+        service.shutdown()
+        print("repro service stopped cleanly", flush=True)
+    return 0

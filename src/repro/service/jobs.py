@@ -1,0 +1,188 @@
+"""Job lifecycle: states, records, the thread-safe store, audit trails.
+
+The state machine (documented in ``docs/SERVICE.md`` and enforced here —
+an illegal transition raises :class:`InvalidTransitionError`)::
+
+    queued ──────► running ─────► done
+       │              │ ├───────► failed
+       │              │ ├───────► cancelled ──► queued   (resume)
+       │              │ └───────► checkpointed ──► queued (resume)
+       └──► cancelled (while still queued; resumable iff it ever ran)
+
+``done`` and ``failed`` are terminal.  ``cancelled`` and ``checkpointed``
+jobs whose run left a checkpoint are *resumable*: a resume request
+re-queues the job and the engine replays the recorded subtrees
+bit-identically (salt-keyed memoization, :mod:`repro.runtime.checkpoint`).
+
+Every lifecycle event is appended to the job's **audit trail** — the
+submit/validate/cache/start/checkpoint/cancel/resume/finish history with
+wall-clock stamps, and on completion the run's cost ledger,
+:class:`~repro.accounting.PoolHealth` and
+:class:`~repro.accounting.RunDurability` records.  The status and result
+endpoints expose the trail verbatim.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.service.contracts import Submission
+
+
+class UnknownJobError(ConfigurationError):
+    """Looked up a job id the store has never issued (HTTP 404)."""
+
+
+class InvalidTransitionError(ConfigurationError):
+    """Requested a lifecycle transition the state machine forbids (HTTP 409)."""
+
+
+class JobState:
+    """The lifecycle states (plain strings, JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    CHECKPOINTED = "checkpointed"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, CHECKPOINTED, DONE, FAILED, CANCELLED)
+    TERMINAL = (DONE, FAILED)
+
+
+#: The legal transitions; everything else raises.
+TRANSITIONS: Dict[str, tuple] = {
+    JobState.QUEUED: (JobState.RUNNING, JobState.CANCELLED, JobState.DONE),
+    JobState.RUNNING: (
+        JobState.DONE,
+        JobState.FAILED,
+        JobState.CANCELLED,
+        JobState.CHECKPOINTED,
+    ),
+    JobState.CHECKPOINTED: (JobState.QUEUED,),
+    JobState.CANCELLED: (JobState.QUEUED,),
+    JobState.DONE: (),
+    JobState.FAILED: (),
+}
+
+
+@dataclass
+class JobRecord:
+    """One job: identity, lifecycle, progress, audit, result reference."""
+
+    job_id: str
+    submission: Submission
+    cache_key: str
+    state: str = JobState.QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Times the executor picked this job up (1 on the first run, +1 per resume).
+    attempts: int = 0
+    cache_hit: bool = False
+    resumable: bool = False
+    checkpoint_path: Optional[str] = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    progress: Dict[str, Any] = field(default_factory=dict)
+    audit: List[Dict[str, Any]] = field(default_factory=list)
+    #: The live :class:`~repro.service.executor.JobSupervisor` while the
+    #: job runs (cancel token + progress counters); ``None`` otherwise.
+    supervisor: Any = None
+
+    def note(self, event: str, **detail: Any) -> None:
+        """Append one audit event (wall-clock stamped)."""
+        self.audit.append({"event": event, "at": time.time(), **detail})
+
+
+class JobStore:
+    """Thread-safe registry of every job the service has accepted."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def create(self, submission: Submission, cache_key: str) -> JobRecord:
+        with self._lock:
+            self._counter += 1
+            job_id = f"job-{self._counter:06d}"
+            record = JobRecord(job_id=job_id, submission=submission, cache_key=cache_key)
+            record.note(
+                "submitted",
+                algorithm=submission.algorithm,
+                description=submission.description,
+                cache_key=cache_key,
+            )
+            self._jobs[job_id] = record
+            return record
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(f"unknown job {job_id!r}") from None
+
+    def transition(self, record: JobRecord, new_state: str) -> None:
+        """Move ``record`` to ``new_state`` or raise :class:`InvalidTransitionError`."""
+        with self._lock:
+            if new_state not in TRANSITIONS[record.state]:
+                raise InvalidTransitionError(
+                    f"job {record.job_id} is {record.state!r}; "
+                    f"cannot move to {new_state!r}"
+                )
+            record.state = new_state
+            if new_state == JobState.RUNNING:
+                record.started_at = time.time()
+            if new_state in (
+                JobState.DONE,
+                JobState.FAILED,
+                JobState.CANCELLED,
+                JobState.CHECKPOINTED,
+            ):
+                record.finished_at = time.time()
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (the healthz queue/occupancy view)."""
+        with self._lock:
+            counts = {state: 0 for state in JobState.ALL}
+            for record in self._jobs.values():
+                counts[record.state] += 1
+            return counts
+
+    def job_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._jobs)
+
+    # ------------------------------------------------------------------
+    def status_document(self, record: JobRecord) -> Dict[str, Any]:
+        """The JSON status view of one job (the ``GET /v1/jobs/<id>`` body)."""
+        with self._lock:
+            supervisor = record.supervisor
+            progress = dict(record.progress)
+            if supervisor is not None:
+                progress.update(supervisor.snapshot())
+            return {
+                "job": record.job_id,
+                "state": record.state,
+                "algorithm": record.submission.algorithm,
+                "description": record.submission.description,
+                "cache": {"key": record.cache_key, "hit": record.cache_hit},
+                "progress": progress,
+                "attempts": record.attempts,
+                "resumable": record.resumable,
+                "error": record.error,
+                "timing": {
+                    "created_at": record.created_at,
+                    "started_at": record.started_at,
+                    "finished_at": record.finished_at,
+                },
+                "audit": [dict(event) for event in record.audit],
+            }

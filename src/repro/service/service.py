@@ -1,0 +1,177 @@
+"""The coloring service facade: submit / status / result / cancel / resume.
+
+:class:`ColoringService` wires the pieces together — request validation
+(:mod:`repro.service.contracts`), the content-addressed result cache
+(:mod:`repro.service.cache`), the job store and state machine
+(:mod:`repro.service.jobs`) and the supervised executor pool
+(:mod:`repro.service.executor`) — behind one transport-agnostic object.
+The HTTP layer (:mod:`repro.service.app`) is a thin JSON shim over these
+methods; tests drive the facade directly, in process, without sockets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.accounting import ServiceTelemetry
+from repro.errors import ConfigurationError
+from repro.service.cache import ResultCache, cache_key
+from repro.service.contracts import parse_submission
+from repro.service.executor import JobExecutor
+from repro.service.jobs import JobState, JobStore
+from repro.service.settings import ServiceSettings
+
+
+class ColoringService:
+    """One service instance: settings, store, cache, telemetry, executor."""
+
+    def __init__(self, settings: Optional[ServiceSettings] = None) -> None:
+        self.settings = settings or ServiceSettings()
+        self.telemetry = ServiceTelemetry()
+        self.store = JobStore()
+        self.cache = ResultCache(
+            capacity=self.settings.cache_capacity,
+            directory=self.settings.cache_dir(),
+            telemetry=self.telemetry,
+        )
+        self.executor = JobExecutor(
+            self.settings, self.store, self.cache, self.telemetry
+        )
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, payload: Any, cancel_after_subtrees: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Validate, content-address, and queue (or cache-serve) one job.
+
+        A submission whose cache key is already present never reaches the
+        queue: the job is created and immediately completed from the
+        cache, with a ``cache-hit`` audit event and zero compute.
+
+        ``cancel_after_subtrees`` is the deterministic-test hook: the job
+        cancels itself after that many completed subtrees.
+        """
+        try:
+            submission = parse_submission(payload, self.settings)
+        except ConfigurationError:
+            self.telemetry.bump("jobs_rejected")
+            raise
+        key = cache_key(
+            submission.algorithm,
+            submission.graph,
+            submission.palettes,
+            submission.params,
+        )
+        record = self.store.create(submission, key)
+        self.telemetry.bump("jobs_submitted")
+        cached = self.cache.get(key)
+        if cached is not None:
+            record.cache_hit = True
+            record.result = cached
+            record.note("cache-hit", cache_key=key, stage="submit")
+            record.progress = {
+                "total_nodes": submission.graph.num_nodes,
+                "nodes_completed": submission.graph.num_nodes,
+            }
+            self.store.transition(record, JobState.DONE)
+            return self.store.status_document(record)
+        if cancel_after_subtrees is not None:
+            record.progress["cancel_after_subtrees"] = int(cancel_after_subtrees)
+        record.note("queued", queue_depth=self.executor.queue_depth())
+        self.executor.enqueue(record)
+        return self.store.status_document(record)
+
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.store.status_document(self.store.get(job_id))
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The result payload of a ``done`` job (409 otherwise)."""
+        record = self.store.get(job_id)
+        if record.state != JobState.DONE or record.result is None:
+            from repro.service.jobs import InvalidTransitionError
+
+            raise InvalidTransitionError(
+                f"job {job_id} is {record.state!r}, not 'done'; "
+                "poll the status endpoint until it completes"
+            )
+        return record.result
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued or running job (signal-safe, resumable).
+
+        A queued job flips straight to ``cancelled``; a running one gets a
+        cooperative stop — the engine finishes the in-flight level, writes
+        a final checkpoint, drains its pools and unlinks shared memory —
+        and lands in ``cancelled`` with ``resumable: true``.
+        """
+        record = self.store.get(job_id)
+        if record.state == JobState.QUEUED:
+            record.resumable = record.checkpoint_path is not None
+            record.note("cancelled", stage="queued", resumable=record.resumable)
+            self.store.transition(record, JobState.CANCELLED)
+            self.telemetry.bump("jobs_cancelled")
+        elif record.state == JobState.RUNNING and record.supervisor is not None:
+            record.note("cancel-requested")
+            record.supervisor.cancel()
+        else:
+            from repro.service.jobs import InvalidTransitionError
+
+            raise InvalidTransitionError(
+                f"job {job_id} is {record.state!r}; only queued or running "
+                "jobs can be cancelled"
+            )
+        return self.store.status_document(record)
+
+    def resume(self, job_id: str) -> Dict[str, Any]:
+        """Re-queue a resumable ``cancelled``/``checkpointed`` job.
+
+        The executor finds the job's checkpoint in the spool and replays
+        the recorded subtrees bit-identically before continuing.
+        """
+        record = self.store.get(job_id)
+        if record.state not in (JobState.CANCELLED, JobState.CHECKPOINTED):
+            from repro.service.jobs import InvalidTransitionError
+
+            raise InvalidTransitionError(
+                f"job {job_id} is {record.state!r}; only cancelled or "
+                "checkpointed jobs can be resumed"
+            )
+        record.supervisor = None
+        record.error = None
+        record.note("resume-requested", checkpoint=record.checkpoint_path)
+        self.store.transition(record, JobState.QUEUED)
+        self.executor.enqueue(record)
+        return self.store.status_document(record)
+
+    # ------------------------------------------------------------------
+    def jobs(self) -> Dict[str, Any]:
+        """The job index: id → (state, algorithm, cache hit)."""
+        documents = []
+        for job_id in self.store.job_ids():
+            record = self.store.get(job_id)
+            documents.append(
+                {
+                    "job": job_id,
+                    "state": record.state,
+                    "algorithm": record.submission.algorithm,
+                    "cache_hit": record.cache_hit,
+                    "resumable": record.resumable,
+                }
+            )
+        return {"jobs": documents}
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness + occupancy + telemetry (the audit-trail roll-up)."""
+        return {
+            "status": "ok",
+            "jobs": self.store.counts(),
+            "queue_depth": self.executor.queue_depth(),
+            "workers": self.settings.workers,
+            "cache": self.cache.stats(),
+            "telemetry": self.telemetry.as_dict(),
+        }
+
+    def shutdown(self) -> None:
+        """Stop the executor; running jobs checkpoint and become resumable."""
+        self.executor.shutdown()

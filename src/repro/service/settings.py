@@ -1,0 +1,100 @@
+"""Deployment settings of the coloring service.
+
+One frozen dataclass carries every deployment knob — bind address,
+executor width, spool location, cache sizing, request limits and the
+per-job resource guardrails — mirroring the app/settings split of the
+related service repos.  ``docs/SERVICE.md`` ("Deployment knobs") is the
+user-facing reference; the CLI's ``serve`` subcommand maps its flags 1:1
+onto these fields.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """Every knob of one service instance, validated up front.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address.  ``port=0`` asks the kernel for an ephemeral port
+        (the chosen port is printed on the ``listening on`` line).
+    workers:
+        Executor threads — jobs computed concurrently.  Each job may
+        additionally shard its own candidate scoring across processes via
+        the submission's ``parallel_workers`` parameter.
+    spool_dir:
+        Root of the service's on-disk state: ``jobs/<id>/run.ckpt``
+        per-job checkpoints (what makes cancel resumable) and ``cache/``
+        for persisted results.
+    cache_capacity:
+        In-memory result-cache entries kept (LRU); the on-disk store is
+        unbounded and survives restarts.
+    persist_cache:
+        Write result payloads under ``spool_dir/cache`` so repeat
+        submissions hit even across service restarts.
+    max_nodes / max_edges:
+        Request limits: a submitted graph larger than either is rejected
+        at validation time (413-style), before any work is queued.
+    memory_budget_mb / deadline_seconds:
+        Per-job :class:`~repro.runtime.guard.ResourceGuard` budgets: a job
+        over budget degrades gracefully and then checkpoints into the
+        resumable ``checkpointed`` state instead of taking the service
+        down with it.
+    checkpoint_every_levels:
+        Checkpoint flush cadence forwarded to every job's parameters.
+    poll_interval_seconds:
+        Cadence of the ``/v1/jobs/<id>/events`` progress stream.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    workers: int = 2
+    spool_dir: str = ".repro-service"
+    cache_capacity: int = 256
+    persist_cache: bool = True
+    max_nodes: int = 200_000
+    max_edges: int = 2_000_000
+    memory_budget_mb: Optional[float] = None
+    deadline_seconds: Optional[float] = None
+    checkpoint_every_levels: int = 1
+    poll_interval_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigurationError("host must not be empty")
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {self.workers}")
+        if not str(self.spool_dir).strip():
+            raise ConfigurationError("spool_dir must not be empty")
+        if self.cache_capacity < 1:
+            raise ConfigurationError("cache_capacity must be at least 1")
+        if self.max_nodes < 1 or self.max_edges < 1:
+            raise ConfigurationError("max_nodes and max_edges must be positive")
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ConfigurationError("memory_budget_mb must be positive")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError("deadline_seconds must be positive")
+        if self.checkpoint_every_levels < 1:
+            raise ConfigurationError("checkpoint_every_levels must be at least 1")
+        if self.poll_interval_seconds <= 0:
+            raise ConfigurationError("poll_interval_seconds must be positive")
+
+    # ------------------------------------------------------------------
+    def jobs_dir(self) -> str:
+        return os.path.join(self.spool_dir, "jobs")
+
+    def cache_dir(self) -> Optional[str]:
+        return os.path.join(self.spool_dir, "cache") if self.persist_cache else None
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir(), job_id)

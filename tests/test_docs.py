@@ -21,6 +21,7 @@ DOC_FILES = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "PAPER.md",
     REPO_ROOT / "docs" / "ARCHITECTURE.md",
+    REPO_ROOT / "docs" / "SERVICE.md",
 ]
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
@@ -79,3 +80,116 @@ def test_cli_list_workloads_exits_zero():
     result = _run_cli("list-workloads")
     assert result.returncode == 0, result.stderr
     assert "dense-random" in result.stdout
+
+
+# ---------------------------------------------------------------------------
+# SERVICE.md drift checks: the documented contract must exist in code.
+
+_ENDPOINT_HEADER = re.compile(r"### `(GET|POST) (/v1/[^`]+)`")
+
+
+def _documented_endpoints():
+    text = (REPO_ROOT / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+    return set(_ENDPOINT_HEADER.findall(text))
+
+
+def test_service_doc_documents_every_route_and_no_ghosts():
+    """Every documented endpoint routes; every route is documented."""
+    from repro.service.app import ROUTES
+
+    documented = _documented_endpoints()
+    assert documented, "SERVICE.md documents no endpoints"
+    # Documented → routed: substitute the doc's <id> placeholder and match.
+    for method, path in documented:
+        concrete = path.replace("<id>", "job-000001")
+        assert any(
+            route_method == method and pattern.match(concrete)
+            for route_method, pattern, _ in ROUTES
+        ), f"SERVICE.md documents {method} {path} but no route matches it"
+    # Routed → documented: same cardinality means nothing undocumented.
+    assert len(documented) == len(ROUTES), (
+        f"SERVICE.md documents {len(documented)} endpoints but the route "
+        f"table has {len(ROUTES)}; document the new route(s)"
+    )
+
+
+def test_service_doc_flags_match_serve_parser():
+    """Every flag in the deployment-knobs table is a real serve flag, and
+    every serve flag is in the table."""
+    text = (REPO_ROOT / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+    knobs_section = text.split("## Deployment knobs", 1)[1].split("\n## ", 1)[0]
+    documented = set(re.findall(r"`(--[a-z-]+)`", knobs_section))
+    help_text = _run_cli("serve", "--help").stdout
+    actual = set(re.findall(r"(--[a-z-]+)", help_text)) - {"--help"}
+    assert documented == actual, (
+        f"SERVICE.md deployment knobs drifted from `repro serve --help`: "
+        f"only documented: {sorted(documented - actual)}, "
+        f"only in code: {sorted(actual - documented)}"
+    )
+
+
+def test_service_doc_names_real_modules():
+    """The layering diagram in SERVICE.md lists files that exist."""
+    text = (REPO_ROOT / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+    for module in re.findall(r"^(repro/service/\w+\.py)", text, flags=re.MULTILINE):
+        assert (REPO_ROOT / "src" / module).is_file(), f"SERVICE.md names missing {module}"
+
+
+def test_service_doc_job_states_match_code():
+    from repro.service.jobs import JobState
+
+    text = (REPO_ROOT / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+    for state in JobState.ALL:
+        assert f"`{state}`" in text, f"SERVICE.md does not document state {state!r}"
+
+
+def test_readme_service_quickstart_flow(tmp_path):
+    """Smoke-run the README's submit → poll → fetch quickstart for real."""
+    import json
+    import signal
+    import urllib.request
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--spool-dir", "spool", "--no-cache-persist"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(tmp_path),
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        assert "repro service listening on http://" in banner, banner
+        port = int(banner.rsplit(":", 1)[1])
+        base = f"http://127.0.0.1:{port}"
+        body = json.dumps(
+            {"algorithm": "low-space", "edges": [[0, 1], [1, 2], [2, 0]], "seed": 7}
+        ).encode()
+        request = urllib.request.Request(f"{base}/v1/jobs", data=body, method="POST")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            job_id = json.loads(response.read())["job"]
+        deadline = 60.0
+        import time
+
+        start = time.monotonic()
+        while True:
+            with urllib.request.urlopen(f"{base}/v1/jobs/{job_id}", timeout=30) as response:
+                state = json.loads(response.read())["state"]
+            if state not in ("queued", "running"):
+                break
+            assert time.monotonic() - start < deadline, "quickstart job never finished"
+            time.sleep(0.05)
+        assert state == "done", state
+        with urllib.request.urlopen(f"{base}/v1/jobs/{job_id}/result", timeout=30) as response:
+            result = json.loads(response.read())
+        assert result["colors_used"] >= 3  # a triangle needs three colors
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        returncode = proc.wait(timeout=60)
+        tail = proc.stdout.read()
+    assert returncode == 0, f"serve did not shut down cleanly: {tail}"
+    assert "repro service stopped cleanly" in tail
